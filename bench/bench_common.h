@@ -1,0 +1,130 @@
+// Shared harness code for the experiment-reproduction benches. Every bench
+// honors VDT_SCALE (dataset multiplier), VDT_ITERS (tuning iterations), and
+// VDT_SEED so the suite can be scaled from the laptop-fast defaults toward
+// paper-scale runs without recompiling.
+#ifndef VDTUNER_BENCH_BENCH_COMMON_H_
+#define VDTUNER_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "tuner/opentuner_like.h"
+#include "tuner/ottertune_like.h"
+#include "tuner/qehvi_tuner.h"
+#include "tuner/random_tuner.h"
+#include "tuner/vdtuner.h"
+#include "workload/replay.h"
+
+namespace vdt {
+namespace bench {
+
+/// One dataset + workload + evaluator, ready for tuning runs.
+struct BenchContext {
+  DatasetProfile profile;
+  FloatMatrix data;
+  Workload workload;
+  std::unique_ptr<VdmsEvaluator> evaluator;
+  ParamSpace space;
+};
+
+/// Builds a context for `profile` at the spec's default stand-in scale,
+/// multiplied by VDT_SCALE. One context owns its evaluator (and its cache).
+inline std::unique_ptr<BenchContext> MakeContext(
+    DatasetProfile profile, size_t num_queries = 16, size_t k = 64) {
+  SetLogLevel(LogLevel::kWarning);  // keep bench stdout clean
+  const DatasetSpec& spec = GetDatasetSpec(profile);
+  const double scale = BenchScale();
+  const size_t rows =
+      static_cast<size_t>(static_cast<double>(spec.default_rows) * scale);
+  const uint64_t seed = BenchSeed();
+
+  auto ctx = std::make_unique<BenchContext>();
+  ctx->profile = profile;
+  ctx->data = GenerateDataset(profile, rows, spec.default_dim, seed);
+  ctx->workload = MakeWorkload(profile, ctx->data, num_queries, k, seed);
+  VdmsEvaluatorOptions eopts;
+  eopts.profile = profile;
+  eopts.seed = seed;
+  ctx->evaluator =
+      std::make_unique<VdmsEvaluator>(&ctx->data, &ctx->workload, eopts);
+  return ctx;
+}
+
+/// The five compared methods of §V-A.
+inline const std::vector<std::string>& MethodNames() {
+  static const std::vector<std::string> kNames = {
+      "VDTuner", "Random", "OpenTuner", "OtterTune", "qEHVI"};
+  return kNames;
+}
+
+/// Tuner factory by method name. `planned_iters` scales VDTuner's abandon
+/// window (the paper's 10 assumes 200-iteration budgets; shorter bench runs
+/// need proportionally earlier focusing).
+inline std::unique_ptr<Tuner> MakeTuner(const std::string& name,
+                                        BenchContext* ctx,
+                                        TunerOptions options,
+                                        int planned_iters = 200) {
+  if (name == "VDTuner") {
+    VdtunerOptions vd;
+    vd.abandon_window = std::clamp(planned_iters / 12, 3, 10);
+    return std::make_unique<VdTuner>(&ctx->space, ctx->evaluator.get(),
+                                     options, vd);
+  }
+  if (name == "Random") {
+    return std::make_unique<RandomTuner>(&ctx->space, ctx->evaluator.get(),
+                                         options);
+  }
+  if (name == "OpenTuner") {
+    return std::make_unique<OpenTunerLike>(&ctx->space, ctx->evaluator.get(),
+                                           options);
+  }
+  if (name == "OtterTune") {
+    return std::make_unique<OtterTuneLike>(&ctx->space, ctx->evaluator.get(),
+                                           options);
+  }
+  if (name == "qEHVI") {
+    return std::make_unique<QehviTuner>(&ctx->space, ctx->evaluator.get(),
+                                        options);
+  }
+  return nullptr;
+}
+
+/// The paper's recall-sacrifice grid (Fig. 6): sacrifice s means the recall
+/// floor is 1 - s.
+inline const std::vector<double>& RecallSacrifices() {
+  static const std::vector<double> kSacrifices = {0.15,  0.125, 0.1, 0.075,
+                                                  0.05,  0.025, 0.01};
+  return kSacrifices;
+}
+
+/// Standard deviation of best-speeds across the sacrifice grid — the
+/// paper's "tradeoff ability" metric (§V-C; lower is better).
+inline double TradeoffSigma(const std::vector<Observation>& history) {
+  std::vector<double> bests;
+  for (double s : RecallSacrifices()) {
+    bests.push_back(BestPrimaryUnderRecallFloor(history, 1.0 - s));
+  }
+  double mean = 0.0;
+  for (double b : bests) mean += b;
+  mean /= bests.size();
+  double var = 0.0;
+  for (double b : bests) var += (b - mean) * (b - mean);
+  return std::sqrt(var / bests.size());
+}
+
+/// Section header on stdout.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace vdt
+
+#endif  // VDTUNER_BENCH_BENCH_COMMON_H_

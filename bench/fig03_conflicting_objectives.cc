@@ -1,0 +1,99 @@
+// Figure 3 (a,b): per-index-type search speed and recall on two datasets
+// with default parameters — the best index type differs per dataset and per
+// objective. Figure 3 (c): optimization curves of each index type under
+// uniform sampling — early samples misidentify the eventual winner.
+#include "bench/bench_common.h"
+
+namespace vdt {
+namespace bench {
+namespace {
+
+void PartAB(DatasetProfile profile, const char* label) {
+  auto ctx = MakeContext(profile);
+  ParamSpace space;
+  Banner(std::string("Figure 3") + label + ": conflicting objectives (" +
+         GetDatasetSpec(profile).name + ")");
+  TablePrinter table({"index", "search speed (QPS)", "recall rate"});
+  for (int t = 0; t < kNumIndexTypes; ++t) {
+    const TuningConfig config = space.DefaultConfig(static_cast<IndexType>(t));
+    const EvalOutcome out = ctx->evaluator->Evaluate(config);
+    table.Row()
+        .Cell(IndexTypeName(static_cast<IndexType>(t)))
+        .Cell(out.failed ? 0.0 : out.qps, 0)
+        .Cell(out.failed ? 0.0 : out.recall, 3);
+  }
+  table.Print();
+}
+
+void PartC() {
+  auto ctx = MakeContext(DatasetProfile::kGlove);
+  ParamSpace space;
+  Banner("Figure 3c: optimization curves per index type (uniform sampling)");
+  const int samples = static_cast<int>(BenchIters(20));
+  Rng rng(BenchSeed() ^ 0x3C);
+
+  // Weighted performance = 0.5*speed/max + 0.5*recall/max, tracked as a
+  // running best per index type (the paper's per-type tuning curves).
+  std::vector<std::vector<double>> curves(kNumIndexTypes);
+  std::vector<double> best(kNumIndexTypes, 0.0);
+  double max_qps = 1e-9, max_recall = 1e-9;
+  std::vector<std::pair<int, EvalOutcome>> evals;
+  for (int s = 0; s < samples; ++s) {
+    for (int t = 0; t < kNumIndexTypes; ++t) {
+      std::vector<double> x = space.SamplePoint(&rng);
+      space.PinForIndexType(static_cast<IndexType>(t), &x);
+      const EvalOutcome out = ctx->evaluator->Evaluate(space.Decode(x));
+      if (!out.failed) {
+        max_qps = std::max(max_qps, out.qps);
+        max_recall = std::max(max_recall, out.recall);
+      }
+      evals.push_back({t, out});
+    }
+  }
+  // Normalize with the global maxima, then accumulate running bests.
+  size_t idx = 0;
+  for (int s = 0; s < samples; ++s) {
+    for (int t = 0; t < kNumIndexTypes; ++t) {
+      const EvalOutcome& out = evals[idx++].second;
+      const double w = out.failed ? 0.0
+                                  : 0.5 * out.qps / max_qps +
+                                        0.5 * out.recall / max_recall;
+      best[t] = std::max(best[t], w);
+      curves[t].push_back(best[t]);
+    }
+  }
+
+  TablePrinter table({"samples", "FLAT", "IVF_FLAT", "IVF_SQ8", "IVF_PQ",
+                      "HNSW", "SCANN", "AUTOINDEX"});
+  for (int s = 0; s < samples; s += std::max(1, samples / 10)) {
+    table.Row().Cell(int64_t{s + 1});
+    for (int t = 0; t < kNumIndexTypes; ++t) table.Cell(curves[t][s], 3);
+  }
+  table.Print();
+
+  // Leader changes: the paper's point is that the best-at-10-samples is not
+  // the final best.
+  auto leader_at = [&](int s) {
+    int lead = 0;
+    for (int t = 1; t < kNumIndexTypes; ++t) {
+      if (curves[t][s] > curves[lead][s]) lead = t;
+    }
+    return lead;
+  };
+  std::printf("\nleader after %d samples: %s; final leader: %s\n",
+              std::min(10, samples),
+              IndexTypeName(static_cast<IndexType>(leader_at(
+                  std::min(10, samples) - 1))),
+              IndexTypeName(static_cast<IndexType>(leader_at(samples - 1))));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vdt
+
+int main() {
+  vdt::bench::PartAB(vdt::DatasetProfile::kGlove, "a");
+  vdt::bench::PartAB(vdt::DatasetProfile::kKeywordMatch, "b");
+  vdt::bench::PartC();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 9: VDTuner's dynamic index-type scoring. Prints each index type's
+// normalized score weight as iterations progress; a weight of 0 means the
+// type has been abandoned. Flags iterations where the leading type changes.
+#include "bench/bench_common.h"
+
+namespace vdt {
+namespace bench {
+namespace {
+
+void Run() {
+  const int iters = static_cast<int>(BenchIters(50));
+  auto ctx = MakeContext(DatasetProfile::kGlove);
+  TunerOptions topts;
+  topts.seed = BenchSeed();
+  VdtunerOptions vd;
+  vd.abandon_window = std::clamp(static_cast<int>(iters) / 12, 3, 10);
+  VdTuner tuner(&ctx->space, ctx->evaluator.get(), topts, vd);
+  tuner.Run(iters);
+
+  Banner("Figure 9: index-type score weights over iterations (glove)");
+  std::vector<std::string> headers = {"iteration"};
+  for (int t = 0; t < kNumIndexTypes; ++t) {
+    headers.push_back(IndexTypeName(static_cast<IndexType>(t)));
+  }
+  headers.push_back("leader");
+  TablePrinter table(headers);
+
+  int last_leader = -1;
+  std::vector<int> leader_changes;
+  const auto& log = tuner.score_log();
+  for (size_t i = 0; i < log.size(); i += std::max<size_t>(1, log.size() / 14)) {
+    const auto& scores = log[i];
+    double total = 0.0;
+    for (double s : scores) {
+      if (std::isfinite(s)) total += s;
+    }
+    table.Row().Cell(int64_t{static_cast<int64_t>(i) + kNumIndexTypes + 1});
+    int leader = -1;
+    double best = -1.0;
+    for (int t = 0; t < kNumIndexTypes; ++t) {
+      const double s = scores[t];
+      if (!std::isfinite(s)) {
+        table.Cell("0%");  // abandoned
+        continue;
+      }
+      const double weight = total > 0 ? 100.0 * s / total
+                                      : 100.0 / kNumIndexTypes;
+      table.Cell(FormatDouble(weight, 0) + "%");
+      if (s > best) {
+        best = s;
+        leader = t;
+      }
+    }
+    table.Cell(leader >= 0 ? IndexTypeName(static_cast<IndexType>(leader))
+                           : "-");
+    if (leader != last_leader && last_leader >= 0) {
+      leader_changes.push_back(static_cast<int>(i));
+    }
+    last_leader = leader;
+  }
+  table.Print();
+
+  std::printf("\nleader changes (*): %zu; remaining types at end: ",
+              leader_changes.size());
+  for (IndexType t : tuner.remaining()) {
+    std::printf("%s ", IndexTypeName(t));
+  }
+  std::printf(
+      "\nExpected shape: an early leader (often HNSW/AUTOINDEX defaults) is "
+      "overtaken as\nVDTuner learns the space; weak types drop to 0%% "
+      "(abandoned).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vdt
+
+int main() {
+  vdt::bench::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 11: parameter trajectories during tuning (Geo-radius). Prints the
+// normalized values of nlist, nprobe, segment_sealProportion, and
+// gracefulTime for each recommended configuration, plus a windowed
+// fluctuation statistic showing exploration -> exploitation convergence.
+#include "bench/bench_common.h"
+
+namespace vdt {
+namespace bench {
+namespace {
+
+void Run() {
+  const int iters = static_cast<int>(BenchIters(50));
+  auto ctx = MakeContext(DatasetProfile::kGeoRadius);
+  TunerOptions topts;
+  topts.seed = BenchSeed();
+  VdTuner tuner(&ctx->space, ctx->evaluator.get(), topts);
+  tuner.Run(iters);
+
+  Banner("Figure 11: normalized parameter values per iteration (geo-radius)");
+  const size_t dims[] = {kDimNlist, kDimNprobe, kDimSealProportion,
+                         kDimGracefulTime};
+  TablePrinter table({"iteration", "nlist", "nprobe",
+                      "segment_sealProportion", "gracefulTime"});
+  const auto& history = tuner.history();
+  for (size_t i = 0; i < history.size();
+       i += std::max<size_t>(1, history.size() / 20)) {
+    table.Row().Cell(int64_t{static_cast<int64_t>(i) + 1});
+    for (size_t d : dims) table.Cell(history[i].x[d], 3);
+  }
+  table.Print();
+
+  // Windowed mean absolute step: early windows should fluctuate more than
+  // late ones (exploration -> exploitation).
+  auto window_flux = [&](size_t begin, size_t end) {
+    double acc = 0.0;
+    int count = 0;
+    for (size_t i = begin + 1; i < end && i < history.size(); ++i) {
+      for (size_t d : dims) {
+        acc += std::abs(history[i].x[d] - history[i - 1].x[d]);
+        ++count;
+      }
+    }
+    return count > 0 ? acc / count : 0.0;
+  };
+  const size_t n = history.size();
+  const double early = window_flux(kNumIndexTypes, kNumIndexTypes + n / 3);
+  const double late = window_flux(n - n / 3, n);
+  std::printf(
+      "\nmean |step| early=%.3f late=%.3f  (expected: early > late, with "
+      "occasional\nlate-stage exploration spikes, as in the paper)\n",
+      early, late);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vdt
+
+int main() {
+  vdt::bench::Run();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 13: cost-effectiveness optimization (Geo-radius). Optimizes QP$
+// (Eq. 8) vs plain QPS and reports (a) the relative performance across
+// recall sacrifices plus memory statistics, and (b) SHAP attributions of
+// each parameter's contribution to memory usage and search speed.
+#include "bench/bench_common.h"
+
+#include "tuner/shap.h"
+
+namespace vdt {
+namespace bench {
+namespace {
+
+void Run() {
+  const int iters = static_cast<int>(BenchIters(40));
+
+  auto run_objective = [&](PrimaryObjective primary) {
+    auto ctx = MakeContext(DatasetProfile::kGeoRadius);
+    TunerOptions topts;
+    topts.seed = BenchSeed();
+    topts.primary = primary;
+    topts.eta = 1.0;
+    VdTuner tuner(&ctx->space, ctx->evaluator.get(), topts);
+    tuner.Run(iters);
+    return tuner.history();
+  };
+
+  const auto qps_history = run_objective(PrimaryObjective::kSearchSpeed);
+  const auto qpd_history = run_objective(PrimaryObjective::kCostEffectiveness);
+
+  Banner("Figure 13a: optimizing QP$ vs QPS (geo-radius)");
+  TablePrinter table({"recall sacrifice", "QP$ ratio (QP$-opt / QPS-opt)",
+                      "QPS ratio (QP$-opt / QPS-opt)"});
+  auto best_under = [](const std::vector<Observation>& h, double floor,
+                       bool cost_eff) {
+    double best_metric = 0.0;
+    for (const auto& o : h) {
+      if (o.failed || o.recall < floor) continue;
+      const double metric = cost_eff ? o.qps / std::max(1e-9, o.memory_gib)
+                                     : o.qps;
+      best_metric = std::max(best_metric, metric);
+    }
+    return best_metric;
+  };
+  for (double s : RecallSacrifices()) {
+    const double floor = 1.0 - s;
+    const double qpd_a = best_under(qpd_history, floor, true);
+    const double qpd_b = best_under(qps_history, floor, true);
+    const double qps_a = best_under(qpd_history, floor, false);
+    const double qps_b = best_under(qps_history, floor, false);
+    table.Row()
+        .Cell(FormatDouble(s, 3))
+        .Cell(qpd_b > 0 ? qpd_a / qpd_b : 0.0, 3)
+        .Cell(qps_b > 0 ? qps_a / qps_b : 0.0, 3);
+  }
+  table.Print();
+
+  auto memory_stats = [](const std::vector<Observation>& h) {
+    double sum = 0.0, sum2 = 0.0;
+    int n = 0;
+    for (const auto& o : h) {
+      if (o.failed) continue;
+      sum += o.memory_gib;
+      sum2 += o.memory_gib * o.memory_gib;
+      ++n;
+    }
+    const double mean = n ? sum / n : 0.0;
+    const double var = n ? sum2 / n - mean * mean : 0.0;
+    return std::make_pair(mean, std::sqrt(std::max(0.0, var)));
+  };
+  const auto [qps_mem, qps_sd] = memory_stats(qps_history);
+  const auto [qpd_mem, qpd_sd] = memory_stats(qpd_history);
+  std::printf(
+      "\nsampled memory usage: optimizing QP$ -> %.2f GiB +- %.2f; "
+      "optimizing QPS -> %.2f GiB +- %.2f\n(paper: 3.89 +- 1.75 vs 5.19 +- "
+      "2.44 — QP$ optimization uses markedly less memory)\n",
+      qpd_mem, qpd_sd, qps_mem, qps_sd);
+
+  // ---- Figure 13b: SHAP attributions on surrogate models fitted to the
+  // combined history.
+  Banner("Figure 13b: parameter contributions (SHAP)");
+  std::vector<std::vector<double>> xs;
+  std::vector<double> mem_y, qps_y;
+  for (const auto* h : {&qps_history, &qpd_history}) {
+    for (const auto& o : *h) {
+      if (o.failed) continue;
+      xs.push_back(o.x);
+      mem_y.push_back(o.memory_gib);
+      qps_y.push_back(o.qps);
+    }
+  }
+  ParamSpace space;
+  const MetricFn mem_fn = SurrogateMetric(xs, mem_y, 3);
+  const MetricFn qps_fn = SurrogateMetric(xs, qps_y, 4);
+
+  // Baseline = default configuration; target = best QPS configuration.
+  const Observation* best = nullptr;
+  for (const auto& o : qps_history) {
+    if (!o.failed && (best == nullptr || o.qps > best->qps)) best = &o;
+  }
+  const std::vector<double> baseline =
+      space.Encode(space.DefaultConfig(IndexType::kAutoIndex));
+  const std::vector<double> target = best ? best->x : baseline;
+
+  const auto mem_attr = ShapleyAttribution(space, mem_fn, baseline, target, {});
+  const auto qps_attr = ShapleyAttribution(space, qps_fn, baseline, target, {});
+
+  TablePrinter attr({"parameter", "memory contribution (GiB)",
+                     "speed contribution (QPS)"});
+  for (size_t d = 0; d < space.dims(); ++d) {
+    attr.Row()
+        .Cell(mem_attr[d].param_name)
+        .Cell(mem_attr[d].contribution, 2)
+        .Cell(qps_attr[d].contribution, 1);
+  }
+  attr.Print();
+  std::printf(
+      "\nExpected shape: segment_maxSize dominates the memory attribution "
+      "and index_type the\nspeed attribution (paper: +3.09 GiB and +119 QPS "
+      "respectively).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vdt
+
+int main() {
+  vdt::bench::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark): the recommendation-path costs behind
+// Table VI — GP fitting/prediction and EHVI evaluation at tuning-history
+// sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "gp/gp.h"
+#include "mobo/ehvi.h"
+
+namespace vdt {
+namespace {
+
+constexpr size_t kDims = 16;
+
+std::pair<std::vector<std::vector<double>>, std::vector<double>> MakeData(
+    size_t n) {
+  Rng rng(11);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x(kDims);
+    for (auto& v : x) v = rng.Uniform();
+    ys.push_back(x[0] * 2.0 - x[1] + 0.1 * rng.Normal());
+    xs.push_back(std::move(x));
+  }
+  return {xs, ys};
+}
+
+void BM_GpFit(benchmark::State& state) {
+  const auto [xs, ys] = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    GaussianProcess gp;
+    benchmark::DoNotOptimize(gp.Fit(xs, ys));
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_GpPredict(benchmark::State& state) {
+  const auto [xs, ys] = MakeData(static_cast<size_t>(state.range(0)));
+  GaussianProcess gp;
+  if (!gp.Fit(xs, ys).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  Rng rng(13);
+  std::vector<double> x(kDims);
+  for (auto _ : state) {
+    for (auto& v : x) v = rng.Uniform();
+    benchmark::DoNotOptimize(gp.Predict(x));
+  }
+}
+BENCHMARK(BM_GpPredict)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+void BM_EhviQuadrature(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<Point2> front;
+  for (int i = 0; i < state.range(0); ++i) {
+    front.push_back({rng.Uniform(0.5, 2.0), rng.Uniform(0.5, 2.0)});
+  }
+  BivariateGaussian belief{1.5, 0.4, 1.5, 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EhviQuadrature(belief, front, {0, 0}, 12));
+  }
+}
+BENCHMARK(BM_EhviQuadrature)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_EhviMonteCarlo(benchmark::State& state) {
+  Rng rng(19);
+  std::vector<Point2> front;
+  for (int i = 0; i < 16; ++i) {
+    front.push_back({rng.Uniform(0.5, 2.0), rng.Uniform(0.5, 2.0)});
+  }
+  BivariateGaussian belief{1.5, 0.4, 1.5, 0.4};
+  Rng mc_rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EhviMonteCarlo(belief, front, {0, 0}, state.range(0), &mc_rng));
+  }
+}
+BENCHMARK(BM_EhviMonteCarlo)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vdt
+
+BENCHMARK_MAIN();

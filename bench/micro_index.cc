@@ -1,0 +1,82 @@
+// Microbenchmarks (google-benchmark): build and search costs of every index
+// type on a GloVe-profile segment — the substrate costs behind the paper's
+// evaluation-time observations.
+#include <benchmark/benchmark.h>
+
+#include "index/index.h"
+#include "workload/datasets.h"
+
+namespace vdt {
+namespace {
+
+constexpr size_t kRows = 2000;
+constexpr size_t kDim = 48;
+
+const FloatMatrix& Data() {
+  static const FloatMatrix data =
+      GenerateDataset(DatasetProfile::kGlove, kRows, kDim, 7);
+  return data;
+}
+
+const FloatMatrix& Queries() {
+  static const FloatMatrix queries =
+      GenerateQueries(DatasetProfile::kGlove, 64, kDim, 7);
+  return queries;
+}
+
+IndexParams DefaultParams() {
+  IndexParams p;
+  p.nlist = 64;
+  p.nprobe = 8;
+  p.m = 8;
+  p.nbits = 8;
+  p.hnsw_m = 16;
+  p.ef_construction = 96;
+  p.ef = 64;
+  p.reorder_k = 100;
+  return p;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto type = static_cast<IndexType>(state.range(0));
+  for (auto _ : state) {
+    auto index = CreateIndex(type, Metric::kAngular, DefaultParams(), 3);
+    benchmark::DoNotOptimize(index->Build(Data()));
+  }
+  state.SetLabel(IndexTypeName(type));
+}
+BENCHMARK(BM_IndexBuild)->DenseRange(0, kNumIndexTypes - 1)->Unit(benchmark::kMillisecond);
+
+void BM_IndexSearch(benchmark::State& state) {
+  const auto type = static_cast<IndexType>(state.range(0));
+  auto index = CreateIndex(type, Metric::kAngular, DefaultParams(), 3);
+  if (!index->Build(Data()).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  size_t q = 0;
+  for (auto _ : state) {
+    auto hits = index->Search(Queries().Row(q % Queries().rows()), 10, nullptr);
+    benchmark::DoNotOptimize(hits);
+    ++q;
+  }
+  state.SetLabel(IndexTypeName(type));
+}
+BENCHMARK(BM_IndexSearch)->DenseRange(0, kNumIndexTypes - 1)->Unit(benchmark::kMicrosecond);
+
+void BM_BruteForce(benchmark::State& state) {
+  size_t q = 0;
+  for (auto _ : state) {
+    auto hits = BruteForceSearch(Data(), Metric::kAngular,
+                                 Queries().Row(q % Queries().rows()), 10,
+                                 nullptr);
+    benchmark::DoNotOptimize(hits);
+    ++q;
+  }
+}
+BENCHMARK(BM_BruteForce)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vdt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Online tuning (paper §VII future work): a deployed collection whose
+// workload shifts mid-flight. The OnlineVdTuner controller watches the
+// incumbent configuration, detects the degradation, and re-tunes —
+// bootstrapping the new session from everything it has already learned.
+//
+//   ./examples/online_tuning
+//
+// Scenario: a retrieval service tuned on an embedding workload; a model
+// migration changes the embedding distribution (GloVe-like -> low-
+// correlation keyword vectors), and the old configuration underperforms.
+#include <cstdio>
+
+#include "tuner/online_tuner.h"
+#include "workload/replay.h"
+
+using namespace vdt;
+
+int main() {
+  // Phase-0 workload: clustered GloVe-style embeddings.
+  const FloatMatrix data0 = GenerateDataset(DatasetProfile::kGlove, 2500, 48, 1);
+  const Workload workload0 = MakeWorkload(DatasetProfile::kGlove, data0, 10, 48, 1);
+  VdmsEvaluatorOptions e0;
+  e0.profile = DatasetProfile::kGlove;
+  VdmsEvaluator eval0(&data0, &workload0, e0);
+
+  // Phase-1 workload: the embedding model changes — diffuse vectors.
+  const FloatMatrix data1 =
+      GenerateDataset(DatasetProfile::kKeywordMatch, 2500, 48, 2);
+  const Workload workload1 =
+      MakeWorkload(DatasetProfile::kKeywordMatch, data1, 10, 48, 2);
+  VdmsEvaluatorOptions e1;
+  e1.profile = DatasetProfile::kKeywordMatch;
+  VdmsEvaluator eval1(&data1, &workload1, e1);
+
+  ParamSpace space;
+  OnlineTunerOptions opts;
+  opts.retune_iters = 15;
+  opts.tuner.seed = 7;
+
+  OnlineVdTuner online(&space, &eval0, opts);
+  std::printf("initial offline tuning on the GloVe-style workload...\n");
+  online.Initialize(/*initial_iters=*/15);
+  std::printf("  incumbent: %s -> %.0f QPS @ recall %.3f\n",
+              IndexTypeName(online.incumbent().index_type),
+              online.incumbent_qps(), online.incumbent_recall());
+
+  std::printf("\nsteady-state ticks under the same workload:\n");
+  for (int i = 0; i < 2; ++i) {
+    std::printf("  tick %d: %s\n", i, OnlineEventName(online.Tick()));
+  }
+
+  std::printf("\n>>> embedding model migrates: workload distribution shifts\n");
+  online.SetEvaluator(&eval1);
+  const OnlineEvent event = online.Tick();
+  std::printf("  tick: %s (re-tunes so far: %d)\n", OnlineEventName(event),
+              online.retune_count());
+  std::printf("  new incumbent: %s -> %.0f QPS @ recall %.3f\n",
+              IndexTypeName(online.incumbent().index_type),
+              online.incumbent_qps(), online.incumbent_recall());
+  std::printf("  knowledge base: %zu evaluations reused across sessions\n",
+              online.knowledge_base().size());
+
+  std::printf("\npost-adaptation ticks:\n");
+  for (int i = 0; i < 2; ++i) {
+    std::printf("  tick %d: %s\n", i, OnlineEventName(online.Tick()));
+  }
+  return 0;
+}

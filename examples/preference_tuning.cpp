@@ -1,0 +1,89 @@
+// Preference-aware tuning (paper §IV-F): "maximize search speed, but keep
+// recall above my floor" — the constraint model — and warm-starting a new
+// floor from a previous tuning session's data (bootstrapping).
+//
+//   ./examples/preference_tuning [recall_floor1=0.85] [recall_floor2=0.9]
+//
+// Scenario: an ops team first tunes its RAG retrieval service for
+// recall > 0.85; a product change later tightens the SLO to recall > 0.9.
+// Instead of re-tuning from scratch, the second session bootstraps from the
+// first session's evaluations.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "tuner/vdtuner.h"
+#include "workload/replay.h"
+
+using namespace vdt;
+
+namespace {
+
+double BestFeasible(const std::vector<Observation>& history, double floor) {
+  return BestPrimaryUnderRecallFloor(history, floor);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double floor1 = argc > 1 ? std::atof(argv[1]) : 0.85;
+  const double floor2 = argc > 2 ? std::atof(argv[2]) : 0.90;
+  const int iters = 25;
+
+  const DatasetProfile profile = DatasetProfile::kKeywordMatch;
+  const FloatMatrix data = GenerateDataset(profile, 3000, 48, 11);
+  const Workload workload = MakeWorkload(profile, data, 12, 64, 11);
+  VdmsEvaluatorOptions eopts;
+  eopts.profile = profile;
+  VdmsEvaluator evaluator(&data, &workload, eopts);
+  ParamSpace space;
+
+  std::printf("phase 1: optimize search speed subject to recall > %.2f\n",
+              floor1);
+  TunerOptions phase1_opts;
+  phase1_opts.seed = 21;
+  phase1_opts.recall_floor = floor1;
+  VdTuner phase1(&space, &evaluator, phase1_opts);
+  phase1.Run(iters);
+  std::printf("  best feasible QPS: %.0f\n",
+              BestFeasible(phase1.history(), floor1));
+
+  std::printf("\nphase 2: the SLO tightens to recall > %.2f\n", floor2);
+
+  // Cold start (no reuse of phase-1 knowledge).
+  TunerOptions cold_opts;
+  cold_opts.seed = 22;
+  cold_opts.recall_floor = floor2;
+  VdTuner cold(&space, &evaluator, cold_opts);
+  cold.Run(iters);
+
+  // Bootstrapped: warm-start the surrogate with phase-1 evaluations.
+  TunerOptions warm_opts = cold_opts;
+  VdTuner warm(&space, &evaluator, warm_opts);
+  warm.Bootstrap(phase1.history());
+  warm.Run(iters);
+
+  TablePrinter table(
+      {"variant", "best feasible QPS", "iterations to first feasible"});
+  auto first_feasible = [&](const std::vector<Observation>& h) {
+    for (const Observation& o : h) {
+      if (!o.failed && o.recall >= floor2) return o.iteration;
+    }
+    return -1;
+  };
+  table.Row()
+      .Cell("cold start")
+      .Cell(BestFeasible(cold.history(), floor2), 0)
+      .Cell(int64_t{first_feasible(cold.history())});
+  table.Row()
+      .Cell("bootstrapped from phase 1")
+      .Cell(BestFeasible(warm.history(), floor2), 0)
+      .Cell(int64_t{first_feasible(warm.history())});
+  table.Print();
+
+  std::printf(
+      "\nThe bootstrapped session starts from an informed surrogate: it "
+      "should find feasible\nconfigurations sooner and end at least as fast "
+      "(paper Fig. 12: 66%% vs 75%% of samples).\n");
+  return 0;
+}

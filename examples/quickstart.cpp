@@ -1,0 +1,105 @@
+// Quickstart: stand up the vector database, ingest a dataset, search it,
+// and let VDTuner find a better configuration than the default.
+//
+//   ./examples/quickstart
+//
+// Walks through the full public API surface:
+//   1. VdmsEngine / CollectionOptions  — the database.
+//   2. GenerateDataset / MakeWorkload  — synthetic data + exact ground truth.
+//   3. VdmsEvaluator                   — configuration -> (QPS, recall).
+//   4. VdTuner                         — multi-objective Bayesian tuning.
+#include <cstdio>
+
+#include "common/table.h"
+#include "tuner/vdtuner.h"
+#include "vdms/vdms.h"
+#include "workload/replay.h"
+
+using namespace vdt;
+
+int main() {
+  // ---------------------------------------------------------------- 1. data
+  const DatasetProfile profile = DatasetProfile::kGlove;
+  const DatasetSpec& spec = GetDatasetSpec(profile);
+  const FloatMatrix data = GenerateDataset(profile, 3000, 48, /*seed=*/1);
+  std::printf("dataset: %s stand-in, %zu vectors x %zu dims (paper scale: "
+              "%zu x %zu)\n",
+              spec.name, data.rows(), data.dim(), spec.paper_rows,
+              spec.paper_dim);
+
+  // ------------------------------------------------------------- 2. the DB
+  VdmsEngine engine;
+  CollectionOptions options;
+  options.name = "quickstart";
+  options.metric = Metric::kAngular;
+  options.index.type = IndexType::kHnsw;
+  options.index.params.hnsw_m = 16;
+  options.index.params.ef_construction = 128;
+  options.index.params.ef = 64;
+  options.scale.dataset_mb = spec.standin_mb;
+  options.scale.memory_mb = spec.PaperMb();
+  options.scale.actual_rows = data.rows();
+
+  if (Status st = engine.CreateCollection(options); !st.ok()) {
+    std::printf("create failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  engine.Insert("quickstart", data);
+  engine.Flush("quickstart");
+
+  auto stats = engine.GetStats("quickstart");
+  std::printf("ingested: %zu rows across %zu sealed segments (%zu indexed)\n",
+              stats->total_rows, stats->num_sealed_segments,
+              stats->num_indexed_segments);
+
+  // ------------------------------------------------------------ 3. search
+  const FloatMatrix queries = GenerateQueries(profile, 3, 48, /*seed=*/2);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    WorkCounters work;
+    auto hits = engine.Search("quickstart", queries.Row(q), 5, &work);
+    std::printf("query %zu -> top-5 ids:", q);
+    for (const Neighbor& n : *hits) std::printf(" %lld", (long long)n.id);
+    std::printf("  (%llu distance evals)\n",
+                (unsigned long long)work.full_distance_evals);
+  }
+
+  // ----------------------------------------------------------- 4. tune it
+  std::printf("\ntuning: 20 iterations of VDTuner vs the default config...\n");
+  const Workload workload = MakeWorkload(profile, data, 12, 32, /*seed=*/3);
+  VdmsEvaluatorOptions eopts;
+  eopts.profile = profile;
+  VdmsEvaluator evaluator(&data, &workload, eopts);
+
+  ParamSpace space;
+  const EvalOutcome def =
+      evaluator.Evaluate(space.DefaultConfig(IndexType::kAutoIndex));
+
+  TunerOptions topts;
+  topts.seed = 4;
+  VdTuner tuner(&space, &evaluator, topts);
+  tuner.Run(20);
+
+  const Observation* best = nullptr;
+  for (const Observation& o : tuner.history()) {
+    if (o.failed || o.recall < def.recall - 0.01) continue;
+    if (best == nullptr || o.qps > best->qps) best = &o;
+  }
+
+  TablePrinter table({"config", "QPS", "recall", "memory (GiB)"});
+  table.Row().Cell("default (AUTOINDEX)").Cell(def.qps, 0).Cell(def.recall, 3)
+      .Cell(def.memory_gib, 2);
+  if (best != nullptr) {
+    table.Row()
+        .Cell(std::string("VDTuner best (") +
+              IndexTypeName(best->config.index_type) + ")")
+        .Cell(best->qps, 0)
+        .Cell(best->recall, 3)
+        .Cell(best->memory_gib, 2);
+  }
+  table.Print();
+  if (best != nullptr) {
+    std::printf("\nbest configuration found:\n  %s\n",
+                best->config.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+// vdtuner_cli: run any tuning method on any dataset profile from the
+// command line — the "operator" entry point a downstream user would script.
+//
+//   ./examples/vdtuner_cli [options]
+//     --profile   glove|keyword-match|geo-radius|arxiv-titles|deep-image
+//     --method    vdtuner|random|opentuner|ottertune|qehvi|simanneal
+//     --iters     N            tuning iterations (default 40)
+//     --rows      N            stand-in dataset rows (default: profile)
+//     --recall    F            recall floor (enables the constraint model)
+//     --cost-aware             optimize QP$ instead of QPS
+//     --seed      N
+//     --load      FILE         bootstrap from a saved knowledge base
+//     --save      FILE         save the history as a knowledge base
+//
+// Prints the tuning trace and the final Pareto front.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/table.h"
+#include "mobo/pareto.h"
+#include "tuner/annealing_tuner.h"
+#include "tuner/knowledge_base.h"
+#include "tuner/opentuner_like.h"
+#include "tuner/ottertune_like.h"
+#include "tuner/qehvi_tuner.h"
+#include "tuner/random_tuner.h"
+#include "tuner/vdtuner.h"
+#include "workload/replay.h"
+
+using namespace vdt;
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "usage: vdtuner_cli [--profile P] [--method M] [--iters N] [--rows N]\n"
+      "                   [--recall F] [--cost-aware] [--seed N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string profile_name = "glove";
+  std::string method = "vdtuner";
+  int iters = 40;
+  size_t rows = 0;
+  double recall_floor = -1.0;
+  bool cost_aware = false;
+  uint64_t seed = 42;
+  std::string load_path, save_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--profile") {
+      profile_name = next();
+    } else if (arg == "--method") {
+      method = next();
+    } else if (arg == "--iters") {
+      iters = std::atoi(next());
+    } else if (arg == "--rows") {
+      rows = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--recall") {
+      recall_floor = std::atof(next());
+    } else if (arg == "--cost-aware") {
+      cost_aware = true;
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--load") {
+      load_path = next();
+    } else if (arg == "--save") {
+      save_path = next();
+    } else {
+      Usage();
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  const DatasetSpec* spec = FindDatasetSpec(profile_name);
+  if (spec == nullptr) {
+    std::printf("unknown profile '%s'\n", profile_name.c_str());
+    Usage();
+    return 1;
+  }
+  if (rows == 0) rows = spec->default_rows;
+
+  std::printf("profile=%s rows=%zu dim=%zu method=%s iters=%d%s%s\n",
+              spec->name, rows, spec->default_dim, method.c_str(), iters,
+              recall_floor > 0 ? " (constrained)" : "",
+              cost_aware ? " (cost-aware)" : "");
+
+  const FloatMatrix data =
+      GenerateDataset(spec->profile, rows, spec->default_dim, seed);
+  const Workload workload = MakeWorkload(spec->profile, data, 16, 64, seed);
+  VdmsEvaluatorOptions eopts;
+  eopts.profile = spec->profile;
+  eopts.seed = seed;
+  VdmsEvaluator evaluator(&data, &workload, eopts);
+  ParamSpace space;
+
+  TunerOptions topts;
+  topts.seed = seed;
+  if (recall_floor > 0) topts.recall_floor = recall_floor;
+  if (cost_aware) topts.primary = PrimaryObjective::kCostEffectiveness;
+
+  std::unique_ptr<Tuner> tuner;
+  if (method == "vdtuner") {
+    tuner = std::make_unique<VdTuner>(&space, &evaluator, topts);
+  } else if (method == "random") {
+    tuner = std::make_unique<RandomTuner>(&space, &evaluator, topts);
+  } else if (method == "opentuner") {
+    tuner = std::make_unique<OpenTunerLike>(&space, &evaluator, topts);
+  } else if (method == "ottertune") {
+    tuner = std::make_unique<OtterTuneLike>(&space, &evaluator, topts);
+  } else if (method == "qehvi") {
+    tuner = std::make_unique<QehviTuner>(&space, &evaluator, topts);
+  } else if (method == "simanneal") {
+    tuner = std::make_unique<AnnealingTuner>(&space, &evaluator, topts);
+  } else {
+    std::printf("unknown method '%s'\n", method.c_str());
+    Usage();
+    return 1;
+  }
+
+  if (!load_path.empty()) {
+    const auto prior = LoadKnowledgeBase(load_path, space);
+    if (!prior.ok()) {
+      std::printf("load failed: %s\n", prior.status().ToString().c_str());
+      return 1;
+    }
+    tuner->Bootstrap(*prior);
+    std::printf("bootstrapped with %zu prior evaluations from %s\n",
+                prior->size(), load_path.c_str());
+  }
+
+  for (int i = 0; i < iters; ++i) {
+    const Observation& obs = tuner->Step();
+    std::printf("[%3d] %-9s qps=%-7.0f recall=%.3f mem=%.2fGiB %s\n",
+                obs.iteration, IndexTypeName(obs.config.index_type), obs.qps,
+                obs.recall, obs.memory_gib, obs.failed ? "FAILED" : "");
+  }
+
+  // Final Pareto front.
+  std::vector<Point2> pts;
+  for (const auto& o : tuner->history()) {
+    pts.push_back({o.primary, o.recall});
+  }
+  const auto front_idx = NonDominatedIndices(pts);
+  std::printf("\nPareto front (%zu configurations):\n", front_idx.size());
+  TablePrinter table({cost_aware ? "QP$" : "QPS", "recall", "configuration"});
+  for (size_t i : front_idx) {
+    const auto& o = tuner->history()[i];
+    if (o.failed) continue;
+    table.Row()
+        .Cell(o.primary, 1)
+        .Cell(o.recall, 3)
+        .Cell(o.config.ToString());
+  }
+  table.Print();
+
+  if (!save_path.empty()) {
+    const Status st = SaveKnowledgeBase(save_path, tuner->history(), space);
+    if (!st.ok()) {
+      std::printf("save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nknowledge base saved to %s (%zu evaluations)\n",
+                save_path.c_str(), tuner->history().size());
+  }
+  return 0;
+}

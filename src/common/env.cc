@@ -1,0 +1,38 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace vdt {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+double BenchScale() { return EnvDouble("VDT_SCALE", 1.0); }
+
+int64_t BenchIters(int64_t fallback) { return EnvInt("VDT_ITERS", fallback); }
+
+uint64_t BenchSeed() {
+  return static_cast<uint64_t>(EnvInt("VDT_SEED", 42));
+}
+
+}  // namespace vdt

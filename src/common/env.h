@@ -1,0 +1,32 @@
+// Environment-variable overrides for experiment scale. Every bench binary
+// reads VDT_SCALE / VDT_ITERS / VDT_SEED so the suite can be scaled from
+// laptop-fast defaults up to paper-scale runs without recompiling.
+#ifndef VDTUNER_COMMON_ENV_H_
+#define VDTUNER_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vdt {
+
+/// Returns env var `name` parsed as int64, or `fallback` when unset/invalid.
+int64_t EnvInt(const char* name, int64_t fallback);
+
+/// Returns env var `name` parsed as double, or `fallback` when unset/invalid.
+double EnvDouble(const char* name, double fallback);
+
+/// Returns env var `name`, or `fallback` when unset.
+std::string EnvString(const char* name, const std::string& fallback);
+
+/// Global dataset-size multiplier for benches (VDT_SCALE, default 1.0).
+double BenchScale();
+
+/// Global tuning-iteration count for benches (VDT_ITERS, default `fallback`).
+int64_t BenchIters(int64_t fallback);
+
+/// Global master seed for benches (VDT_SEED, default 42).
+uint64_t BenchSeed();
+
+}  // namespace vdt
+
+#endif  // VDTUNER_COMMON_ENV_H_

@@ -1,0 +1,70 @@
+// Contiguous row-major float matrix: the storage format for vector datasets,
+// queries, centroids, and codebooks throughout the repository.
+#ifndef VDTUNER_COMMON_FLOAT_MATRIX_H_
+#define VDTUNER_COMMON_FLOAT_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+namespace vdt {
+
+/// Row-major dense float matrix; each row is one vector.
+class FloatMatrix {
+ public:
+  FloatMatrix() : rows_(0), dim_(0) {}
+  FloatMatrix(size_t rows, size_t dim, float fill = 0.0f)
+      : rows_(rows), dim_(dim), data_(rows * dim, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return rows_ == 0; }
+
+  float* Row(size_t r) {
+    assert(r < rows_);
+    return &data_[r * dim_];
+  }
+  const float* Row(size_t r) const {
+    assert(r < rows_);
+    return &data_[r * dim_];
+  }
+
+  float& At(size_t r, size_t c) {
+    assert(r < rows_ && c < dim_);
+    return data_[r * dim_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    assert(r < rows_ && c < dim_);
+    return data_[r * dim_ + c];
+  }
+
+  /// Appends one row (must match dim; sets dim on the first append).
+  void AppendRow(const float* row, size_t dim) {
+    if (rows_ == 0 && dim_ == 0) dim_ = dim;
+    assert(dim == dim_);
+    data_.insert(data_.end(), row, row + dim);
+    ++rows_;
+  }
+
+  /// Copies rows [begin, end) into a new matrix.
+  FloatMatrix Slice(size_t begin, size_t end) const {
+    assert(begin <= end && end <= rows_);
+    FloatMatrix out(end - begin, dim_);
+    std::memcpy(out.data_.data(), &data_[begin * dim_],
+                (end - begin) * dim_ * sizeof(float));
+    return out;
+  }
+
+  size_t MemoryBytes() const { return data_.size() * sizeof(float); }
+
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  size_t rows_, dim_;
+  std::vector<float> data_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_COMMON_FLOAT_MATRIX_H_

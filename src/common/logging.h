@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr. Bench binaries default to kWarning so
+// their stdout stays a clean, parseable table.
+#ifndef VDTUNER_COMMON_LOGGING_H_
+#define VDTUNER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vdt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction (when the
+/// line's level passes the global filter).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: VDT_LOG(kInfo) << "built index in " << secs << "s";
+#define VDT_LOG(level) \
+  ::vdt::internal::LogMessage(::vdt::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace vdt
+
+#endif  // VDTUNER_COMMON_LOGGING_H_

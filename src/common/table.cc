@@ -1,0 +1,74 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace vdt {
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(const std::string& value) {
+  if (rows_.empty()) Row();
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(const char* value) {
+  return Cell(std::string(value));
+}
+
+TablePrinter& TablePrinter::Cell(double value, int precision) {
+  return Cell(FormatDouble(value, precision));
+}
+
+TablePrinter& TablePrinter::Cell(int64_t value) {
+  return Cell(std::to_string(value));
+}
+
+std::string TablePrinter::ToString() const {
+  const size_t ncols = headers_.size();
+  std::vector<size_t> widths(ncols, 0);
+  for (size_t c = 0; c < ncols; ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < ncols; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      os << (c + 1 < ncols ? "  " : "");
+    }
+    os << "\n";
+  };
+
+  emit_row(headers_);
+  for (size_t c = 0; c < ncols; ++c) {
+    os << std::string(widths[c], '-') << (c + 1 < ncols ? "  " : "");
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace vdt

@@ -1,0 +1,46 @@
+// Aligned plain-text table printer used by the bench harness to emit
+// paper-style rows (Tables IV-VI, Figures 6-13 series data).
+#ifndef VDTUNER_COMMON_TABLE_H_
+#define VDTUNER_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace vdt {
+
+/// Collects rows of string cells and renders them with aligned columns.
+/// Numeric helpers format with a fixed precision.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row; cells are appended with Cell().
+  TablePrinter& Row();
+
+  TablePrinter& Cell(const std::string& value);
+  TablePrinter& Cell(const char* value);
+  TablePrinter& Cell(double value, int precision = 2);
+  TablePrinter& Cell(int64_t value);
+  TablePrinter& Cell(int value) { return Cell(static_cast<int64_t>(value)); }
+  TablePrinter& Cell(size_t value) {
+    return Cell(static_cast<int64_t>(value));
+  }
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_COMMON_TABLE_H_

@@ -1,0 +1,52 @@
+// Fixed-size thread pool used by the measured replay mode (concurrent search
+// requests) and parallel index building.
+#ifndef VDTUNER_COMMON_THREAD_POOL_H_
+#define VDTUNER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vdt {
+
+/// A simple FIFO thread pool. Tasks are void() callables; Wait() blocks until
+/// the queue drains and all workers are idle.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signaled when a task is available
+  std::condition_variable cv_idle_;   // signaled when the pool may be idle
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_COMMON_THREAD_POOL_H_

@@ -1,0 +1,67 @@
+#include "gp/kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vdt {
+
+KernelParams KernelParams::Uniform(size_t dim, double ls, double signal_var) {
+  KernelParams p;
+  p.signal_variance = signal_var;
+  p.length_scales.assign(dim, ls);
+  return p;
+}
+
+double ScaledDistance(const std::vector<double>& x,
+                      const std::vector<double>& y,
+                      const std::vector<double>& length_scales) {
+  assert(x.size() == y.size() && x.size() == length_scales.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = (x[i] - y[i]) / length_scales[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+Matrix Kernel::Gram(const std::vector<std::vector<double>>& points,
+                    const KernelParams& params) const {
+  const size_t n = points.size();
+  Matrix k(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    k(i, i) = Eval(points[i], points[i], params);
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = Eval(points[i], points[j], params);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+std::vector<double> Kernel::Cross(
+    const std::vector<double>& x,
+    const std::vector<std::vector<double>>& points,
+    const KernelParams& params) const {
+  std::vector<double> out(points.size());
+  for (size_t i = 0; i < points.size(); ++i) out[i] = Eval(x, points[i], params);
+  return out;
+}
+
+double Matern52Kernel::Eval(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            const KernelParams& params) const {
+  const double r = ScaledDistance(x, y, params.length_scales);
+  const double sqrt5_r = std::sqrt(5.0) * r;
+  return params.signal_variance * (1.0 + sqrt5_r + 5.0 * r * r / 3.0) *
+         std::exp(-sqrt5_r);
+}
+
+double RbfKernel::Eval(const std::vector<double>& x,
+                       const std::vector<double>& y,
+                       const KernelParams& params) const {
+  const double r = ScaledDistance(x, y, params.length_scales);
+  return params.signal_variance * std::exp(-0.5 * r * r);
+}
+
+}  // namespace vdt

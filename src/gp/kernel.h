@@ -1,0 +1,73 @@
+// Covariance kernels for Gaussian-process regression. VDTuner uses the
+// Matern-5/2 kernel (paper §IV-B) with ARD length scales; an RBF kernel is
+// provided for comparison and testing.
+#ifndef VDTUNER_GP_KERNEL_H_
+#define VDTUNER_GP_KERNEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace vdt {
+
+/// Kernel hyperparameters: one signal variance plus one length scale per
+/// input dimension (automatic relevance determination).
+struct KernelParams {
+  double signal_variance = 1.0;
+  std::vector<double> length_scales;  // size d, all > 0
+
+  /// Uniform length scale `ls` across `dim` dimensions.
+  static KernelParams Uniform(size_t dim, double ls = 0.5,
+                              double signal_var = 1.0);
+};
+
+/// Kernel function interface over points in R^d.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// k(x, y) under the given hyperparameters.
+  virtual double Eval(const std::vector<double>& x,
+                      const std::vector<double>& y,
+                      const KernelParams& params) const = 0;
+
+  /// Kernel name for diagnostics ("matern52", "rbf").
+  virtual const char* Name() const = 0;
+
+  /// Gram matrix K where K_ij = k(points[i], points[j]).
+  Matrix Gram(const std::vector<std::vector<double>>& points,
+              const KernelParams& params) const;
+
+  /// Cross-covariance vector [k(x, points[0]), ..., k(x, points[n-1])].
+  std::vector<double> Cross(const std::vector<double>& x,
+                            const std::vector<std::vector<double>>& points,
+                            const KernelParams& params) const;
+};
+
+/// Matern-5/2: k(r) = s * (1 + sqrt(5) r + 5 r^2 / 3) exp(-sqrt(5) r), with
+/// r the ARD-scaled Euclidean distance. Twice differentiable — a good middle
+/// ground between RBF smoothness and Matern-3/2 roughness (paper §IV-B).
+class Matern52Kernel : public Kernel {
+ public:
+  double Eval(const std::vector<double>& x, const std::vector<double>& y,
+              const KernelParams& params) const override;
+  const char* Name() const override { return "matern52"; }
+};
+
+/// Squared-exponential (RBF): k(r) = s * exp(-r^2 / 2).
+class RbfKernel : public Kernel {
+ public:
+  double Eval(const std::vector<double>& x, const std::vector<double>& y,
+              const KernelParams& params) const override;
+  const char* Name() const override { return "rbf"; }
+};
+
+/// ARD-scaled Euclidean distance sqrt(sum_i ((x_i - y_i) / ls_i)^2).
+double ScaledDistance(const std::vector<double>& x,
+                      const std::vector<double>& y,
+                      const std::vector<double>& length_scales);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_GP_KERNEL_H_

@@ -1,0 +1,42 @@
+#include "index/auto_index.h"
+
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+
+namespace vdt {
+
+namespace {
+constexpr size_t kFlatThreshold = 512;  // below this, brute force is best
+}  // namespace
+
+Status AutoIndex::Build(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (data.rows() < kFlatThreshold) {
+    delegate_ = std::make_unique<FlatIndex>(metric_);
+  } else {
+    // Milvus' AUTOINDEX is a pre-tuned HNSW profile.
+    IndexParams params;
+    params.hnsw_m = 16;
+    params.ef_construction = 128;
+    params.ef = 64;
+    delegate_ = std::make_unique<HnswIndex>(metric_, params, seed_);
+  }
+  return delegate_->Build(data);
+}
+
+std::vector<Neighbor> AutoIndex::Search(const float* query, size_t k,
+                                        WorkCounters* counters) const {
+  return delegate_->Search(query, k, counters);
+}
+
+size_t AutoIndex::MemoryBytes() const {
+  return delegate_ ? delegate_->MemoryBytes() : 0;
+}
+
+size_t AutoIndex::Size() const { return delegate_ ? delegate_->Size() : 0; }
+
+IndexType AutoIndex::delegate_type() const {
+  return delegate_ ? delegate_->type() : IndexType::kAutoIndex;
+}
+
+}  // namespace vdt

@@ -1,0 +1,35 @@
+// AUTOINDEX (paper Table I): Milvus' no-knob default. Picks a sensible
+// pre-tuned configuration from the data size — FLAT for tiny segments,
+// HNSW with fixed defaults otherwise. Exposes no tunable parameters.
+#ifndef VDTUNER_INDEX_AUTO_INDEX_H_
+#define VDTUNER_INDEX_AUTO_INDEX_H_
+
+#include <memory>
+
+#include "index/index.h"
+
+namespace vdt {
+
+class AutoIndex : public VectorIndex {
+ public:
+  AutoIndex(Metric metric, uint64_t seed) : metric_(metric), seed_(seed) {}
+
+  Status Build(const FloatMatrix& data) override;
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               WorkCounters* counters) const override;
+  size_t MemoryBytes() const override;
+  IndexType type() const override { return IndexType::kAutoIndex; }
+  size_t Size() const override;
+
+  /// The index AUTOINDEX delegated to after Build (FLAT or HNSW).
+  IndexType delegate_type() const;
+
+ private:
+  Metric metric_;
+  uint64_t seed_;
+  std::unique_ptr<VectorIndex> delegate_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_AUTO_INDEX_H_

@@ -1,0 +1,31 @@
+// Distance kernels. The evaluated datasets use angular distance (Table III);
+// vectors are L2-normalized at ingest so angular reduces to 1 - dot.
+#ifndef VDTUNER_INDEX_DISTANCE_H_
+#define VDTUNER_INDEX_DISTANCE_H_
+
+#include <cstddef>
+
+namespace vdt {
+
+/// Distance metric of a collection.
+enum class Metric {
+  kL2,            // squared Euclidean
+  kInnerProduct,  // negative dot product (smaller = more similar)
+  kAngular,       // 1 - cosine similarity; assumes normalized vectors
+};
+
+const char* MetricName(Metric metric);
+
+float DotProduct(const float* a, const float* b, size_t dim);
+float L2SquaredDistance(const float* a, const float* b, size_t dim);
+float Norm(const float* a, size_t dim);
+
+/// In-place L2 normalization (no-op on the zero vector).
+void NormalizeVector(float* a, size_t dim);
+
+/// Distance under `metric`; smaller is more similar for every metric.
+float Distance(Metric metric, const float* a, const float* b, size_t dim);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_DISTANCE_H_

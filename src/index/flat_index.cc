@@ -1,0 +1,16 @@
+#include "index/flat_index.h"
+
+namespace vdt {
+
+Status FlatIndex::Build(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty data");
+  data_ = &data;
+  return Status::OK();
+}
+
+std::vector<Neighbor> FlatIndex::Search(const float* query, size_t k,
+                                        WorkCounters* counters) const {
+  return BruteForceSearch(*data_, metric_, query, k, counters);
+}
+
+}  // namespace vdt

@@ -1,0 +1,28 @@
+// FLAT: exhaustive exact search (paper Table I). The baseline index with
+// recall 1.0 and cost linear in the segment size.
+#ifndef VDTUNER_INDEX_FLAT_INDEX_H_
+#define VDTUNER_INDEX_FLAT_INDEX_H_
+
+#include "index/index.h"
+
+namespace vdt {
+
+class FlatIndex : public VectorIndex {
+ public:
+  explicit FlatIndex(Metric metric) : metric_(metric) {}
+
+  Status Build(const FloatMatrix& data) override;
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               WorkCounters* counters) const override;
+  size_t MemoryBytes() const override { return 0; }  // uses the segment data
+  IndexType type() const override { return IndexType::kFlat; }
+  size_t Size() const override { return data_ ? data_->rows() : 0; }
+
+ private:
+  Metric metric_;
+  const FloatMatrix* data_ = nullptr;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_FLAT_INDEX_H_

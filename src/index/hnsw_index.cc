@@ -1,0 +1,235 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "index/topk.h"
+
+namespace vdt {
+
+float HnswIndex::Dist(const float* query, uint32_t id,
+                      WorkCounters* counters) const {
+  if (counters != nullptr) ++counters->full_distance_evals;
+  return Distance(metric_, query, data_->Row(id), data_->dim());
+}
+
+size_t HnswIndex::MaxDegree(int level) const {
+  const size_t m = static_cast<size_t>(std::max(2, params_.hnsw_m));
+  return level == 0 ? 2 * m : m;
+}
+
+std::vector<uint32_t>& HnswIndex::LinksAt(uint32_t node, int level) {
+  if (level == 0) return links0_[node];
+  return upper_[node][level - 1];
+}
+
+const std::vector<uint32_t>& HnswIndex::LinksAt(uint32_t node,
+                                                int level) const {
+  if (level == 0) return links0_[node];
+  return upper_[node][level - 1];
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
+                                             uint32_t entry, size_t ef,
+                                             int level,
+                                             WorkCounters* counters) const {
+  std::vector<uint8_t> visited(data_->rows(), 0);
+
+  // Min-heap of frontier candidates; bounded max-heap of results.
+  struct FurthestFirst {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      return b < a;  // invert: the top of the heap is the nearest candidate
+    }
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, FurthestFirst> frontier;
+  TopKCollector results(ef);
+
+  const float d0 = Dist(query, entry, counters);
+  frontier.push({static_cast<int64_t>(entry), d0});
+  results.Offer(entry, d0);
+  visited[entry] = 1;
+
+  while (!frontier.empty()) {
+    const Neighbor cur = frontier.top();
+    frontier.pop();
+    if (results.Full() && cur.distance > results.WorstDistance()) break;
+    if (counters != nullptr) ++counters->graph_hops;
+
+    for (uint32_t next : LinksAt(static_cast<uint32_t>(cur.id), level)) {
+      if (visited[next]) continue;
+      visited[next] = 1;
+      const float d = Dist(query, next, counters);
+      if (!results.Full() || d < results.WorstDistance()) {
+        frontier.push({static_cast<int64_t>(next), d});
+        results.Offer(next, d);
+      }
+    }
+  }
+  return results.Take();
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    const float* query, const std::vector<Neighbor>& candidates,
+    size_t max_m) const {
+  // Diversity heuristic: keep a candidate only if it is closer to the query
+  // than to every neighbor selected so far; backfill with pruned candidates.
+  std::vector<uint32_t> selected;
+  std::vector<uint32_t> pruned;
+  for (const Neighbor& cand : candidates) {
+    if (selected.size() >= max_m) break;
+    bool keep = true;
+    for (uint32_t s : selected) {
+      const float d_cs = Distance(metric_, data_->Row(cand.id), data_->Row(s),
+                                  data_->dim());
+      if (d_cs < cand.distance) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      selected.push_back(static_cast<uint32_t>(cand.id));
+    } else {
+      pruned.push_back(static_cast<uint32_t>(cand.id));
+    }
+  }
+  for (uint32_t p : pruned) {
+    if (selected.size() >= max_m) break;
+    selected.push_back(p);
+  }
+  (void)query;
+  return selected;
+}
+
+Status HnswIndex::Build(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (params_.hnsw_m < 2 || params_.hnsw_m > 512) {
+    return Status::InvalidArgument("hnsw M out of range [2, 512]");
+  }
+  if (params_.ef_construction < 8) {
+    return Status::InvalidArgument("efConstruction must be >= 8");
+  }
+  data_ = &data;
+  const size_t n = data.rows();
+
+  node_level_.assign(n, 0);
+  links0_.assign(n, {});
+  upper_.assign(n, {});
+  max_level_ = -1;
+
+  Rng rng(seed_);
+  const double mult = 1.0 / std::log(static_cast<double>(params_.hnsw_m));
+  const size_t ef_c = static_cast<size_t>(params_.ef_construction);
+
+  for (uint32_t i = 0; i < n; ++i) {
+    // Exponentially distributed level draw.
+    double u = rng.Uniform();
+    while (u <= 1e-300) u = rng.Uniform();
+    const int level =
+        static_cast<int>(std::floor(-std::log(u) * mult));
+    node_level_[i] = level;
+    upper_[i].assign(static_cast<size_t>(level), {});
+
+    if (max_level_ < 0) {
+      // First node becomes the entry point.
+      entry_ = i;
+      max_level_ = level;
+      continue;
+    }
+
+    const float* q = data.Row(i);
+    uint32_t ep = entry_;
+
+    // Greedy descent through layers above the node's level.
+    for (int lc = max_level_; lc > level; --lc) {
+      bool improved = true;
+      float d_ep = Dist(q, ep, nullptr);
+      while (improved) {
+        improved = false;
+        for (uint32_t nb : LinksAt(ep, lc)) {
+          const float d = Dist(q, nb, nullptr);
+          if (d < d_ep) {
+            d_ep = d;
+            ep = nb;
+            improved = true;
+          }
+        }
+      }
+    }
+
+    // Connect at each layer from min(level, max_level_) down to 0.
+    for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
+      std::vector<Neighbor> nearest = SearchLayer(q, ep, ef_c, lc, nullptr);
+      const size_t max_m = MaxDegree(lc);
+      std::vector<uint32_t> neighbors = SelectNeighbors(q, nearest, max_m);
+      LinksAt(i, lc) = neighbors;
+
+      // Bidirectional connections with degree-bounded pruning.
+      for (uint32_t nb : neighbors) {
+        std::vector<uint32_t>& back = LinksAt(nb, lc);
+        back.push_back(i);
+        if (back.size() > max_m) {
+          std::vector<Neighbor> cands;
+          cands.reserve(back.size());
+          for (uint32_t b : back) {
+            cands.push_back({static_cast<int64_t>(b),
+                             Distance(metric_, data.Row(nb), data.Row(b),
+                                      data.dim())});
+          }
+          std::sort(cands.begin(), cands.end());
+          back = SelectNeighbors(data.Row(nb), cands, max_m);
+        }
+      }
+      if (!nearest.empty()) ep = static_cast<uint32_t>(nearest.front().id);
+    }
+
+    if (level > max_level_) {
+      entry_ = i;
+      max_level_ = level;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Neighbor> HnswIndex::Search(const float* query, size_t k,
+                                        WorkCounters* counters) const {
+  assert(data_ != nullptr && data_->rows() > 0);
+  uint32_t ep = entry_;
+
+  // Greedy descent to layer 1.
+  for (int lc = max_level_; lc >= 1; --lc) {
+    bool improved = true;
+    float d_ep = Dist(query, ep, counters);
+    while (improved) {
+      improved = false;
+      if (counters != nullptr) ++counters->graph_hops;
+      for (uint32_t nb : LinksAt(ep, lc)) {
+        const float d = Dist(query, nb, counters);
+        if (d < d_ep) {
+          d_ep = d;
+          ep = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  const size_t ef = std::max<size_t>(static_cast<size_t>(std::max(1, params_.ef)), k);
+  std::vector<Neighbor> found = SearchLayer(query, ep, ef, 0, counters);
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+size_t HnswIndex::MemoryBytes() const {
+  size_t bytes = node_level_.size() * sizeof(int);
+  for (const auto& l : links0_) {
+    bytes += l.size() * sizeof(uint32_t) + sizeof(l);
+  }
+  for (const auto& levels : upper_) {
+    for (const auto& l : levels) bytes += l.size() * sizeof(uint32_t) + sizeof(l);
+  }
+  return bytes;
+}
+
+}  // namespace vdt

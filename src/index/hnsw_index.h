@@ -1,0 +1,70 @@
+// HNSW: Hierarchical Navigable Small World graph (Malkov & Yashunin, TPAMI
+// 2018; paper Table I). Build parameters: M (graph degree), efConstruction
+// (build beam width). Search parameter: ef (query beam width).
+#ifndef VDTUNER_INDEX_HNSW_INDEX_H_
+#define VDTUNER_INDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "index/index.h"
+
+namespace vdt {
+
+class HnswIndex : public VectorIndex {
+ public:
+  HnswIndex(Metric metric, const IndexParams& params, uint64_t seed)
+      : metric_(metric), params_(params), seed_(seed) {}
+
+  Status Build(const FloatMatrix& data) override;
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               WorkCounters* counters) const override;
+  void UpdateSearchParams(const IndexParams& params) override {
+    params_.ef = params.ef;
+  }
+  size_t MemoryBytes() const override;
+  IndexType type() const override { return IndexType::kHnsw; }
+  size_t Size() const override { return data_ ? data_->rows() : 0; }
+
+  int max_level() const { return max_level_; }
+
+ private:
+  /// Distance from `query` to node `id`, with work accounting.
+  float Dist(const float* query, uint32_t id, WorkCounters* counters) const;
+
+  /// Beam search within one layer starting from `entry`; returns up to `ef`
+  /// nearest nodes sorted by distance ascending.
+  std::vector<Neighbor> SearchLayer(const float* query, uint32_t entry,
+                                    size_t ef, int level,
+                                    WorkCounters* counters) const;
+
+  /// Malkov's diversity heuristic: selects up to `max_m` neighbors from
+  /// `candidates` (sorted ascending), preferring candidates closer to the
+  /// query than to any already-selected neighbor.
+  std::vector<uint32_t> SelectNeighbors(const float* query,
+                                        const std::vector<Neighbor>& candidates,
+                                        size_t max_m) const;
+
+  std::vector<uint32_t>& LinksAt(uint32_t node, int level);
+  const std::vector<uint32_t>& LinksAt(uint32_t node, int level) const;
+
+  /// Maximum degree at `level` (2M at level 0, M above).
+  size_t MaxDegree(int level) const;
+
+  Metric metric_;
+  IndexParams params_;
+  uint64_t seed_;
+  const FloatMatrix* data_ = nullptr;
+
+  int max_level_ = -1;
+  uint32_t entry_ = 0;
+  std::vector<int> node_level_;
+  std::vector<std::vector<uint32_t>> links0_;  // level-0 adjacency
+  // upper_[node][l-1] = adjacency of `node` at level l (l >= 1).
+  std::vector<std::vector<std::vector<uint32_t>>> upper_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_HNSW_INDEX_H_

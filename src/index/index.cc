@@ -1,0 +1,88 @@
+#include "index/index.h"
+
+#include <sstream>
+
+#include "index/topk.h"
+
+namespace vdt {
+
+const char* IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kFlat:
+      return "FLAT";
+    case IndexType::kIvfFlat:
+      return "IVF_FLAT";
+    case IndexType::kIvfSq8:
+      return "IVF_SQ8";
+    case IndexType::kIvfPq:
+      return "IVF_PQ";
+    case IndexType::kHnsw:
+      return "HNSW";
+    case IndexType::kScann:
+      return "SCANN";
+    case IndexType::kAutoIndex:
+      return "AUTOINDEX";
+  }
+  return "?";
+}
+
+std::string IndexParams::ToString() const {
+  std::ostringstream os;
+  os << "nlist=" << nlist << " nprobe=" << nprobe << " m=" << m
+     << " nbits=" << nbits << " M=" << hnsw_m
+     << " efConstruction=" << ef_construction << " ef=" << ef
+     << " reorder_k=" << reorder_k;
+  return os.str();
+}
+
+void WorkCounters::Add(const WorkCounters& other) {
+  full_distance_evals += other.full_distance_evals;
+  coarse_distance_evals += other.coarse_distance_evals;
+  code_distance_evals += other.code_distance_evals;
+  pq_lookup_ops += other.pq_lookup_ops;
+  table_build_flops += other.table_build_flops;
+  graph_hops += other.graph_hops;
+  reorder_evals += other.reorder_evals;
+}
+
+uint64_t WorkCounters::Total() const {
+  return full_distance_evals + coarse_distance_evals + code_distance_evals +
+         pq_lookup_ops + table_build_flops + graph_hops + reorder_evals;
+}
+
+std::string BuildSignature(IndexType type, const IndexParams& params) {
+  std::ostringstream os;
+  os << IndexTypeName(type);
+  switch (type) {
+    case IndexType::kFlat:
+    case IndexType::kAutoIndex:
+      break;  // no build parameters
+    case IndexType::kIvfFlat:
+    case IndexType::kIvfSq8:
+    case IndexType::kScann:
+      os << "/nlist=" << params.nlist;
+      break;
+    case IndexType::kIvfPq:
+      os << "/nlist=" << params.nlist << "/m=" << params.m
+         << "/nbits=" << params.nbits;
+      break;
+    case IndexType::kHnsw:
+      os << "/M=" << params.hnsw_m << "/efC=" << params.ef_construction;
+      break;
+  }
+  return os.str();
+}
+
+std::vector<Neighbor> BruteForceSearch(const FloatMatrix& data, Metric metric,
+                                       const float* query, size_t k,
+                                       WorkCounters* counters) {
+  TopKCollector topk(k);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    topk.Offer(static_cast<int64_t>(i),
+               Distance(metric, query, data.Row(i), data.dim()));
+  }
+  if (counters != nullptr) counters->full_distance_evals += data.rows();
+  return topk.Take();
+}
+
+}  // namespace vdt

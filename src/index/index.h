@@ -1,0 +1,137 @@
+// The VectorIndex interface and the per-query work accounting that feeds the
+// deterministic cost model. Every ANNS algorithm in Milvus' Table I is
+// implemented behind this interface.
+#ifndef VDTUNER_INDEX_INDEX_H_
+#define VDTUNER_INDEX_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/float_matrix.h"
+#include "common/status.h"
+#include "index/distance.h"
+
+namespace vdt {
+
+/// Index types supported by the VDMS (paper Table I).
+enum class IndexType {
+  kFlat = 0,
+  kIvfFlat,
+  kIvfSq8,
+  kIvfPq,
+  kHnsw,
+  kScann,
+  kAutoIndex,
+};
+
+inline constexpr int kNumIndexTypes = 7;
+
+const char* IndexTypeName(IndexType type);
+
+/// All index build/search parameters in one bag (paper Table I). Only the
+/// fields relevant to a given index type are read by that index.
+struct IndexParams {
+  // IVF family + SCANN.
+  int nlist = 128;   // number of coarse clusters
+  int nprobe = 16;   // clusters probed per query
+  // IVF_PQ.
+  int m = 8;       // PQ subspaces (must divide dim)
+  int nbits = 8;   // bits per PQ code (4..12)
+  // HNSW.
+  int hnsw_m = 16;            // graph degree
+  int ef_construction = 128;  // build-time beam width
+  int ef = 64;                // query-time beam width
+  // SCANN.
+  int reorder_k = 200;  // exact re-ranking candidate count
+
+  std::string ToString() const;
+};
+
+/// Work performed while answering queries; the cost model converts these
+/// counters into deterministic QPS. Unit conventions (what the cost model
+/// charges):
+///  - full/coarse_distance_evals: one full-dimension float distance each.
+///  - code_distance_evals: one full-dimension scalar-quantized scan each
+///    (cheaper per element than float).
+///  - pq_lookup_ops: one table lookup-add each (PQ ADC scoring).
+///  - table_build_flops: one float multiply-add each (PQ table construction).
+///  - graph_hops: one beam-search node expansion each (heap + visited set).
+///  - reorder_evals: informational; the exact distances it triggers are
+///    already counted in full_distance_evals.
+struct WorkCounters {
+  uint64_t full_distance_evals = 0;
+  uint64_t coarse_distance_evals = 0;
+  uint64_t code_distance_evals = 0;
+  uint64_t pq_lookup_ops = 0;
+  uint64_t table_build_flops = 0;
+  uint64_t graph_hops = 0;
+  uint64_t reorder_evals = 0;
+
+  void Add(const WorkCounters& other);
+  uint64_t Total() const;
+};
+
+/// One search hit: row id within the indexed matrix plus its distance.
+struct Neighbor {
+  int64_t id = -1;
+  float distance = 0.f;
+
+  bool operator<(const Neighbor& other) const {
+    return distance < other.distance ||
+           (distance == other.distance && id < other.id);
+  }
+};
+
+/// Abstract approximate-nearest-neighbor index over one immutable segment.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Builds the index over `data` (copied or referenced internally; `data`
+  /// must outlive the index). Returns InvalidArgument for infeasible
+  /// parameters (e.g. PQ m not dividing dim) — the evaluator surfaces these
+  /// as failed configurations, mirroring the paper's crash handling.
+  virtual Status Build(const FloatMatrix& data) = 0;
+
+  /// Exact/approximate top-k for `query`; results sorted by distance
+  /// ascending. Appends the work performed to `counters` (may be null).
+  virtual std::vector<Neighbor> Search(const float* query, size_t k,
+                                       WorkCounters* counters) const = 0;
+
+  /// Updates search-time knobs (nprobe, ef, reorder_k) without rebuilding.
+  /// Build-time parameters are fixed once Build() has run; see
+  /// BuildSignature() for which is which.
+  virtual void UpdateSearchParams(const IndexParams& params) { (void)params; }
+
+  /// Bytes used by the index structures (excluding the raw vectors unless
+  /// the index stores its own copy).
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual IndexType type() const = 0;
+  const char* Name() const { return IndexTypeName(type()); }
+
+  /// Number of indexed vectors.
+  virtual size_t Size() const = 0;
+};
+
+/// Creates an index of `type` with `params` over `metric`. `seed` controls
+/// k-means and HNSW level draws. AUTOINDEX ignores params and picks its own.
+std::unique_ptr<VectorIndex> CreateIndex(IndexType type, Metric metric,
+                                         const IndexParams& params,
+                                         uint64_t seed);
+
+/// Exact top-k by brute force (the ground-truth oracle).
+std::vector<Neighbor> BruteForceSearch(const FloatMatrix& data, Metric metric,
+                                       const float* query, size_t k,
+                                       WorkCounters* counters);
+
+/// A string identifying the build-affecting subset of (type, params): two
+/// configurations with equal signatures can share one built index and differ
+/// only in search-time knobs. Used by the evaluator's index cache.
+std::string BuildSignature(IndexType type, const IndexParams& params);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_INDEX_H_

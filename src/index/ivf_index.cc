@@ -1,0 +1,242 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "index/topk.h"
+
+namespace vdt {
+
+Status IvfBaseIndex::Build(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (params_.nlist < 1) return Status::InvalidArgument("nlist must be >= 1");
+  data_ = &data;
+
+  // Milvus requires nlist <= n; clamp rather than fail so small sealed
+  // segments remain indexable under large-nlist configurations.
+  const size_t nlist =
+      std::min<size_t>(static_cast<size_t>(params_.nlist), data.rows());
+
+  KMeansOptions kopts;
+  kopts.seed = seed_;
+  KMeansResult km = KMeansCluster(data, nlist, kopts);
+  centroids_ = std::move(km.centroids);
+
+  list_ids_.assign(centroids_.rows(), {});
+  for (size_t i = 0; i < data.rows(); ++i) {
+    list_ids_[km.assignments[i]].push_back(static_cast<int64_t>(i));
+  }
+  return EncodeLists(data);
+}
+
+std::vector<int32_t> IvfBaseIndex::ProbeLists(const float* query,
+                                              WorkCounters* counters) const {
+  const size_t nlist = centroids_.rows();
+  const size_t nprobe =
+      std::min<size_t>(std::max(1, params_.nprobe), nlist);
+  std::vector<std::pair<float, int32_t>> dists;
+  dists.reserve(nlist);
+  for (size_t c = 0; c < nlist; ++c) {
+    dists.emplace_back(
+        L2SquaredDistance(query, centroids_.Row(c), centroids_.dim()),
+        static_cast<int32_t>(c));
+  }
+  if (counters != nullptr) counters->coarse_distance_evals += nlist;
+  std::partial_sort(dists.begin(), dists.begin() + nprobe, dists.end());
+  std::vector<int32_t> out(nprobe);
+  for (size_t i = 0; i < nprobe; ++i) out[i] = dists[i].second;
+  return out;
+}
+
+// ---------------------------------------------------------------- IVF_FLAT
+
+std::vector<Neighbor> IvfFlatIndex::Search(const float* query, size_t k,
+                                           WorkCounters* counters) const {
+  TopKCollector topk(k);
+  uint64_t scanned = 0;
+  for (int32_t list : ProbeLists(query, counters)) {
+    for (int64_t id : list_ids_[list]) {
+      topk.Offer(id, Distance(metric_, query, data_->Row(id), data_->dim()));
+    }
+    scanned += list_ids_[list].size();
+  }
+  if (counters != nullptr) counters->full_distance_evals += scanned;
+  return topk.Take();
+}
+
+size_t IvfFlatIndex::MemoryBytes() const {
+  size_t bytes = centroids_.MemoryBytes();
+  for (const auto& list : list_ids_) bytes += list.size() * sizeof(int64_t);
+  return bytes;
+}
+
+// ----------------------------------------------------------------- IVF_SQ8
+
+Status IvfSq8Index::EncodeLists(const FloatMatrix& data) {
+  const size_t dim = data.dim();
+  vmin_.assign(dim, std::numeric_limits<float>::max());
+  std::vector<float> vmax(dim, std::numeric_limits<float>::lowest());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const float* row = data.Row(i);
+    for (size_t d = 0; d < dim; ++d) {
+      vmin_[d] = std::min(vmin_[d], row[d]);
+      vmax[d] = std::max(vmax[d], row[d]);
+    }
+  }
+  vscale_.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    vscale_[d] = (vmax[d] - vmin_[d]) / 255.0f;
+    if (vscale_[d] <= 0.f) vscale_[d] = 1e-12f;
+  }
+
+  list_codes_.resize(list_ids_.size());
+  for (size_t l = 0; l < list_ids_.size(); ++l) {
+    list_codes_[l].resize(list_ids_[l].size() * dim);
+    for (size_t j = 0; j < list_ids_[l].size(); ++j) {
+      const float* row = data.Row(list_ids_[l][j]);
+      uint8_t* code = &list_codes_[l][j * dim];
+      for (size_t d = 0; d < dim; ++d) {
+        const float q = (row[d] - vmin_[d]) / vscale_[d];
+        code[d] = static_cast<uint8_t>(
+            std::clamp(q + 0.5f, 0.0f, 255.0f));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Neighbor> IvfSq8Index::Search(const float* query, size_t k,
+                                          WorkCounters* counters) const {
+  const size_t dim = data_->dim();
+  TopKCollector topk(k);
+  uint64_t scanned = 0;
+  for (int32_t list : ProbeLists(query, counters)) {
+    const auto& ids = list_ids_[list];
+    const uint8_t* codes = list_codes_[list].data();
+    for (size_t j = 0; j < ids.size(); ++j) {
+      // Dequantize on the fly and accumulate the metric.
+      const uint8_t* code = codes + j * dim;
+      float acc = 0.f;
+      if (metric_ == Metric::kL2) {
+        for (size_t d = 0; d < dim; ++d) {
+          const float v = vmin_[d] + vscale_[d] * code[d];
+          const float diff = query[d] - v;
+          acc += diff * diff;
+        }
+      } else {  // kInnerProduct / kAngular share the dot product core.
+        float dot = 0.f;
+        for (size_t d = 0; d < dim; ++d) {
+          dot += query[d] * (vmin_[d] + vscale_[d] * code[d]);
+        }
+        acc = metric_ == Metric::kAngular ? 1.0f - dot : -dot;
+      }
+      topk.Offer(ids[j], acc);
+    }
+    scanned += ids.size();
+  }
+  if (counters != nullptr) counters->code_distance_evals += scanned;
+  return topk.Take();
+}
+
+size_t IvfSq8Index::MemoryBytes() const {
+  size_t bytes = centroids_.MemoryBytes();
+  bytes += (vmin_.size() + vscale_.size()) * sizeof(float);
+  for (const auto& list : list_ids_) bytes += list.size() * sizeof(int64_t);
+  for (const auto& codes : list_codes_) bytes += codes.size();
+  return bytes;
+}
+
+// ------------------------------------------------------------------ IVF_PQ
+
+Status IvfPqIndex::EncodeLists(const FloatMatrix& data) {
+  const size_t dim = data.dim();
+  if (params_.m < 1) return Status::InvalidArgument("pq m must be >= 1");
+  if (dim % static_cast<size_t>(params_.m) != 0) {
+    return Status::InvalidArgument("pq m must divide the vector dimension");
+  }
+  if (params_.nbits < 4 || params_.nbits > 12) {
+    return Status::InvalidArgument("pq nbits must be in [4, 12]");
+  }
+  const size_t m = static_cast<size_t>(params_.m);
+  dsub_ = dim / m;
+  ksub_ = 1 << params_.nbits;
+
+  // Train one codebook per subspace on the subvectors.
+  codebooks_ = FloatMatrix(m * ksub_, dsub_);
+  std::vector<uint16_t> assign_all(data.rows() * m);
+  for (size_t s = 0; s < m; ++s) {
+    FloatMatrix sub(data.rows(), dsub_);
+    for (size_t i = 0; i < data.rows(); ++i) {
+      std::copy_n(data.Row(i) + s * dsub_, dsub_, sub.Row(i));
+    }
+    KMeansOptions kopts;
+    kopts.seed = seed_ + 7919 * (s + 1);
+    kopts.max_iters = 8;
+    KMeansResult km = KMeansCluster(sub, ksub_, kopts);
+    // Copy trained codewords; clusters beyond km size stay zero.
+    for (size_t c = 0; c < km.centroids.rows(); ++c) {
+      std::copy_n(km.centroids.Row(c), dsub_, codebooks_.Row(s * ksub_ + c));
+    }
+    for (size_t i = 0; i < data.rows(); ++i) {
+      assign_all[i * m + s] = static_cast<uint16_t>(km.assignments[i]);
+    }
+  }
+
+  list_codes_.resize(list_ids_.size());
+  for (size_t l = 0; l < list_ids_.size(); ++l) {
+    list_codes_[l].resize(list_ids_[l].size() * m);
+    for (size_t j = 0; j < list_ids_[l].size(); ++j) {
+      const int64_t id = list_ids_[l][j];
+      std::copy_n(&assign_all[id * m], m, &list_codes_[l][j * m]);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Neighbor> IvfPqIndex::Search(const float* query, size_t k,
+                                         WorkCounters* counters) const {
+  const size_t m = static_cast<size_t>(params_.m);
+  const size_t ksub = static_cast<size_t>(ksub_);
+
+  // ADC lookup table: partial distance of each (subspace, codeword) pair.
+  std::vector<float> table(m * ksub);
+  for (size_t s = 0; s < m; ++s) {
+    const float* qsub = query + s * dsub_;
+    for (size_t c = 0; c < ksub; ++c) {
+      const float* cw = codebooks_.Row(s * ksub + c);
+      if (metric_ == Metric::kL2) {
+        table[s * ksub + c] = L2SquaredDistance(qsub, cw, dsub_);
+      } else {
+        table[s * ksub + c] = -DotProduct(qsub, cw, dsub_);
+      }
+    }
+  }
+  if (counters != nullptr) counters->table_build_flops += m * ksub * dsub_;
+  const float bias = metric_ == Metric::kAngular ? 1.0f : 0.0f;
+
+  TopKCollector topk(k);
+  uint64_t scanned = 0;
+  for (int32_t list : ProbeLists(query, counters)) {
+    const auto& ids = list_ids_[list];
+    const uint16_t* codes = list_codes_[list].data();
+    for (size_t j = 0; j < ids.size(); ++j) {
+      const uint16_t* code = codes + j * m;
+      float acc = bias;
+      for (size_t s = 0; s < m; ++s) acc += table[s * ksub + code[s]];
+      topk.Offer(ids[j], acc);
+    }
+    scanned += ids.size();
+  }
+  if (counters != nullptr) counters->pq_lookup_ops += scanned * m;
+  return topk.Take();
+}
+
+size_t IvfPqIndex::MemoryBytes() const {
+  size_t bytes = centroids_.MemoryBytes() + codebooks_.MemoryBytes();
+  for (const auto& list : list_ids_) bytes += list.size() * sizeof(int64_t);
+  for (const auto& codes : list_codes_) bytes += codes.size() * sizeof(uint16_t);
+  return bytes;
+}
+
+}  // namespace vdt

@@ -1,0 +1,106 @@
+// The IVF (inverted-file) index family: IVF_FLAT, IVF_SQ8, IVF_PQ
+// (paper Table I). A k-means coarse quantizer partitions the segment into
+// nlist cells; queries probe the nprobe nearest cells and score their
+// members exactly (FLAT), via 8-bit scalar quantization (SQ8), or via
+// product-quantization ADC (PQ).
+#ifndef VDTUNER_INDEX_IVF_INDEX_H_
+#define VDTUNER_INDEX_IVF_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/index.h"
+#include "index/kmeans.h"
+
+namespace vdt {
+
+/// Shared coarse-quantizer machinery of the IVF family.
+class IvfBaseIndex : public VectorIndex {
+ public:
+  IvfBaseIndex(Metric metric, const IndexParams& params, uint64_t seed)
+      : metric_(metric), params_(params), seed_(seed) {}
+
+  Status Build(const FloatMatrix& data) override;
+  size_t Size() const override { return data_ ? data_->rows() : 0; }
+
+  /// Updates search-time knobs (nprobe) without rebuilding.
+  void UpdateSearchParams(const IndexParams& params) override {
+    params_.nprobe = params.nprobe;
+  }
+
+ protected:
+  /// Hook: encode the per-list payload after coarse clustering.
+  virtual Status EncodeLists(const FloatMatrix& data) = 0;
+
+  /// Returns the nprobe nearest list ids for `query` (adds coarse work).
+  std::vector<int32_t> ProbeLists(const float* query,
+                                  WorkCounters* counters) const;
+
+  Metric metric_;
+  IndexParams params_;
+  uint64_t seed_;
+  const FloatMatrix* data_ = nullptr;
+  FloatMatrix centroids_;                       // nlist x dim
+  std::vector<std::vector<int64_t>> list_ids_;  // member row ids per list
+};
+
+/// IVF_FLAT: probed cells are scored with exact distances.
+class IvfFlatIndex : public IvfBaseIndex {
+ public:
+  using IvfBaseIndex::IvfBaseIndex;
+
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               WorkCounters* counters) const override;
+  size_t MemoryBytes() const override;
+  IndexType type() const override { return IndexType::kIvfFlat; }
+
+ protected:
+  Status EncodeLists(const FloatMatrix&) override { return Status::OK(); }
+};
+
+/// IVF_SQ8: probed cells are scored on 8-bit scalar-quantized codes
+/// (4x memory reduction; small recall loss from quantization error).
+class IvfSq8Index : public IvfBaseIndex {
+ public:
+  using IvfBaseIndex::IvfBaseIndex;
+
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               WorkCounters* counters) const override;
+  size_t MemoryBytes() const override;
+  IndexType type() const override { return IndexType::kIvfSq8; }
+
+ protected:
+  Status EncodeLists(const FloatMatrix& data) override;
+
+ private:
+  /// Per-dimension affine dequantization: value = vmin[d] + code * vscale[d].
+  std::vector<float> vmin_, vscale_;
+  std::vector<std::vector<uint8_t>> list_codes_;  // per list: n_i * dim codes
+};
+
+/// IVF_PQ: probed cells are scored with product-quantization asymmetric
+/// distance (ADC). Requires dim % m == 0 — violations fail the build, which
+/// the evaluator reports as a failed configuration.
+class IvfPqIndex : public IvfBaseIndex {
+ public:
+  using IvfBaseIndex::IvfBaseIndex;
+
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               WorkCounters* counters) const override;
+  size_t MemoryBytes() const override;
+  IndexType type() const override { return IndexType::kIvfPq; }
+
+ protected:
+  Status EncodeLists(const FloatMatrix& data) override;
+
+ private:
+  int ksub_ = 0;        // 2^nbits codewords per subspace
+  size_t dsub_ = 0;     // dims per subspace
+  FloatMatrix codebooks_;  // (m * ksub) x dsub
+  std::vector<std::vector<uint16_t>> list_codes_;  // per list: n_i * m codes
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_IVF_INDEX_H_

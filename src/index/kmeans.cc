@@ -1,0 +1,138 @@
+#include "index/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "index/distance.h"
+
+namespace vdt {
+namespace {
+
+/// k-means++ seeding over the training set.
+FloatMatrix SeedPlusPlus(const FloatMatrix& train, size_t k, Rng* rng) {
+  const size_t n = train.rows();
+  const size_t dim = train.dim();
+  FloatMatrix centroids(k, dim);
+
+  size_t first = static_cast<size_t>(rng->UniformInt(n));
+  std::copy_n(train.Row(first), dim, centroids.Row(0));
+
+  std::vector<float> min_d2(n, std::numeric_limits<float>::max());
+  for (size_t c = 1; c < k; ++c) {
+    // Update the distance of each point to its nearest chosen centroid.
+    const float* last = centroids.Row(c - 1);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float d2 = L2SquaredDistance(train.Row(i), last, dim);
+      min_d2[i] = std::min(min_d2[i], d2);
+      total += min_d2[i];
+    }
+    // D^2-weighted draw (falls back to uniform if all distances are zero).
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng->Uniform() * total;
+      for (size_t i = 0; i < n; ++i) {
+        target -= min_d2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<size_t>(rng->UniformInt(n));
+    }
+    std::copy_n(train.Row(chosen), dim, centroids.Row(c));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+int32_t NearestCentroid(const FloatMatrix& centroids, const float* x) {
+  int32_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    const float d = L2SquaredDistance(centroids.Row(c), x, centroids.dim());
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int32_t>(c);
+    }
+  }
+  return best;
+}
+
+KMeansResult KMeansCluster(const FloatMatrix& data, size_t k,
+                           const KMeansOptions& options) {
+  KMeansResult result;
+  const size_t n = data.rows();
+  const size_t dim = data.dim();
+  assert(n > 0 && dim > 0);
+  k = std::max<size_t>(1, std::min(k, n));
+
+  Rng rng(options.seed);
+
+  // Train on a subsample for speed; assign the full set at the end.
+  FloatMatrix train;
+  if (n > options.max_train_points) {
+    auto idx = rng.SampleWithoutReplacement(n, options.max_train_points);
+    train = FloatMatrix(idx.size(), dim);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      std::copy_n(data.Row(idx[i]), dim, train.Row(i));
+    }
+  } else {
+    train = data.Slice(0, n);
+  }
+
+  FloatMatrix centroids = SeedPlusPlus(train, k, &rng);
+
+  const size_t tn = train.rows();
+  std::vector<int32_t> assign(tn, 0);
+  std::vector<size_t> counts(k, 0);
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < tn; ++i) {
+      const int32_t c = NearestCentroid(centroids, train.Row(i));
+      if (c != assign[i]) {
+        assign[i] = c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    FloatMatrix sums(k, dim, 0.f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < tn; ++i) {
+      const int32_t c = assign[i];
+      const float* row = train.Row(i);
+      float* s = sums.Row(c);
+      for (size_t d = 0; d < dim; ++d) s[d] += row[d];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from a random training point.
+        const size_t pick = static_cast<size_t>(rng.UniformInt(tn));
+        std::copy_n(train.Row(pick), dim, centroids.Row(c));
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      float* cr = centroids.Row(c);
+      const float* s = sums.Row(c);
+      for (size_t d = 0; d < dim; ++d) cr[d] = s[d] * inv;
+    }
+  }
+
+  // Final assignment over the full dataset.
+  result.assignments.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.assignments[i] = NearestCentroid(centroids, data.Row(i));
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace vdt

@@ -1,0 +1,37 @@
+// Lloyd k-means with k-means++ seeding: the clustering core of the IVF
+// family, SCANN partitioning, and PQ codebook training.
+#ifndef VDTUNER_INDEX_KMEANS_H_
+#define VDTUNER_INDEX_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/float_matrix.h"
+#include "common/random.h"
+
+namespace vdt {
+
+struct KMeansOptions {
+  int max_iters = 10;
+  /// Training subsample cap; k-means runs on at most this many points.
+  size_t max_train_points = 16384;
+  uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  FloatMatrix centroids;             // k x dim
+  std::vector<int32_t> assignments;  // size = data.rows(), in [0, k)
+};
+
+/// Clusters `data` into `k` centroids (k is clamped to data.rows()).
+/// Empty clusters are re-seeded from the farthest points of the largest
+/// cluster, so every centroid is meaningful.
+KMeansResult KMeansCluster(const FloatMatrix& data, size_t k,
+                           const KMeansOptions& options);
+
+/// Index of the nearest centroid to `x` (L2).
+int32_t NearestCentroid(const FloatMatrix& centroids, const float* x);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_KMEANS_H_

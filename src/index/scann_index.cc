@@ -1,0 +1,129 @@
+#include "index/scann_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "index/topk.h"
+
+namespace vdt {
+
+Status ScannIndex::Build(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (params_.nlist < 1) return Status::InvalidArgument("nlist must be >= 1");
+  data_ = &data;
+  const size_t dim = data.dim();
+  const size_t nlist =
+      std::min<size_t>(static_cast<size_t>(params_.nlist), data.rows());
+
+  KMeansOptions kopts;
+  kopts.seed = seed_ + 17;
+  KMeansResult km = KMeansCluster(data, nlist, kopts);
+  centroids_ = std::move(km.centroids);
+  list_ids_.assign(centroids_.rows(), {});
+  for (size_t i = 0; i < data.rows(); ++i) {
+    list_ids_[km.assignments[i]].push_back(static_cast<int64_t>(i));
+  }
+
+  // Global per-dimension SQ8 quantizer.
+  vmin_.assign(dim, std::numeric_limits<float>::max());
+  std::vector<float> vmax(dim, std::numeric_limits<float>::lowest());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const float* row = data.Row(i);
+    for (size_t d = 0; d < dim; ++d) {
+      vmin_[d] = std::min(vmin_[d], row[d]);
+      vmax[d] = std::max(vmax[d], row[d]);
+    }
+  }
+  vscale_.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    vscale_[d] = (vmax[d] - vmin_[d]) / 255.0f;
+    if (vscale_[d] <= 0.f) vscale_[d] = 1e-12f;
+  }
+
+  list_codes_.resize(list_ids_.size());
+  for (size_t l = 0; l < list_ids_.size(); ++l) {
+    list_codes_[l].resize(list_ids_[l].size() * dim);
+    for (size_t j = 0; j < list_ids_[l].size(); ++j) {
+      const float* row = data.Row(list_ids_[l][j]);
+      uint8_t* code = &list_codes_[l][j * dim];
+      for (size_t d = 0; d < dim; ++d) {
+        const float q = (row[d] - vmin_[d]) / vscale_[d];
+        code[d] = static_cast<uint8_t>(std::clamp(q + 0.5f, 0.0f, 255.0f));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Neighbor> ScannIndex::Search(const float* query, size_t k,
+                                         WorkCounters* counters) const {
+  const size_t dim = data_->dim();
+  const size_t nlist = centroids_.rows();
+  const size_t nprobe = std::min<size_t>(std::max(1, params_.nprobe), nlist);
+
+  // Coarse probe.
+  std::vector<std::pair<float, int32_t>> cd;
+  cd.reserve(nlist);
+  for (size_t c = 0; c < nlist; ++c) {
+    cd.emplace_back(L2SquaredDistance(query, centroids_.Row(c), dim),
+                    static_cast<int32_t>(c));
+  }
+  if (counters != nullptr) counters->coarse_distance_evals += nlist;
+  std::partial_sort(cd.begin(), cd.begin() + nprobe, cd.end());
+
+  // Approximate scoring pass over quantized codes.
+  const size_t reorder_k =
+      std::max<size_t>(k, static_cast<size_t>(std::max(1, params_.reorder_k)));
+  TopKCollector approx(reorder_k);
+  uint64_t scanned = 0;
+  for (size_t p = 0; p < nprobe; ++p) {
+    const int32_t list = cd[p].second;
+    const auto& ids = list_ids_[list];
+    const uint8_t* codes = list_codes_[list].data();
+    for (size_t j = 0; j < ids.size(); ++j) {
+      const uint8_t* code = codes + j * dim;
+      float score;
+      if (metric_ == Metric::kL2) {
+        float acc = 0.f;
+        for (size_t d = 0; d < dim; ++d) {
+          const float v = vmin_[d] + vscale_[d] * code[d];
+          const float diff = query[d] - v;
+          acc += diff * diff;
+        }
+        score = acc;
+      } else {
+        float dot = 0.f;
+        for (size_t d = 0; d < dim; ++d) {
+          dot += query[d] * (vmin_[d] + vscale_[d] * code[d]);
+        }
+        score = metric_ == Metric::kAngular ? 1.0f - dot : -dot;
+      }
+      approx.Offer(ids[j], score);
+    }
+    scanned += ids.size();
+  }
+  if (counters != nullptr) counters->code_distance_evals += scanned;
+
+  // Exact re-ranking of the surviving candidates.
+  std::vector<Neighbor> candidates = approx.Take();
+  TopKCollector exact(k);
+  for (const Neighbor& cand : candidates) {
+    exact.Offer(cand.id,
+                Distance(metric_, query, data_->Row(cand.id), dim));
+  }
+  if (counters != nullptr) {
+    counters->reorder_evals += candidates.size();
+    counters->full_distance_evals += candidates.size();
+  }
+  return exact.Take();
+}
+
+size_t ScannIndex::MemoryBytes() const {
+  size_t bytes = centroids_.MemoryBytes();
+  bytes += (vmin_.size() + vscale_.size()) * sizeof(float);
+  for (const auto& list : list_ids_) bytes += list.size() * sizeof(int64_t);
+  for (const auto& codes : list_codes_) bytes += codes.size();
+  return bytes;
+}
+
+}  // namespace vdt

@@ -1,0 +1,57 @@
+// Bounded top-k collection via a max-heap keyed on distance.
+#ifndef VDTUNER_INDEX_TOPK_H_
+#define VDTUNER_INDEX_TOPK_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "index/index.h"
+
+namespace vdt {
+
+/// Collects the k smallest-distance neighbors seen so far.
+class TopKCollector {
+ public:
+  explicit TopKCollector(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  /// Offers a candidate; kept only if it beats the current worst.
+  void Offer(int64_t id, float distance) {
+    if (heap_.size() < k_) {
+      heap_.push_back({id, distance});
+      std::push_heap(heap_.begin(), heap_.end(), ByDistanceLess);
+    } else if (!heap_.empty() && distance < heap_.front().distance) {
+      std::pop_heap(heap_.begin(), heap_.end(), ByDistanceLess);
+      heap_.back() = {id, distance};
+      std::push_heap(heap_.begin(), heap_.end(), ByDistanceLess);
+    }
+  }
+
+  /// Current worst kept distance (+inf while under capacity).
+  float WorstDistance() const {
+    return heap_.size() < k_ ? std::numeric_limits<float>::infinity()
+                             : heap_.front().distance;
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts results sorted by distance ascending (destroys the heap).
+  std::vector<Neighbor> Take() {
+    std::sort(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  static bool ByDistanceLess(const Neighbor& a, const Neighbor& b) {
+    // Max-heap on distance: the root is the current worst.
+    return a.distance < b.distance;
+  }
+
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_TOPK_H_

@@ -1,0 +1,140 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace vdt {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVec(const std::vector<double>& v) const {
+  assert(cols_ == v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double Matrix::FrobeniusDistance(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      os << (*this)(r, c) << (c + 1 < cols_ ? ", " : "");
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+Result<Matrix> CholeskyFactor(const Matrix& a, double jitter) {
+  assert(a.rows() == a.cols());
+  const size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + jitter;
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(
+          "matrix is not positive definite at pivot " + std::to_string(j));
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return l;
+}
+
+std::vector<double> ForwardSolve(const Matrix& l,
+                                 const std::vector<double>& b) {
+  assert(l.rows() == l.cols() && l.rows() == b.size());
+  const size_t n = b.size();
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    const double* row = l.RowPtr(i);
+    for (size_t k = 0; k < i; ++k) acc -= row[k] * y[k];
+    y[i] = acc / row[i];
+  }
+  return y;
+}
+
+std::vector<double> BackwardSolve(const Matrix& l,
+                                  const std::vector<double>& y) {
+  assert(l.rows() == l.cols() && l.rows() == y.size());
+  const size_t n = y.size();
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b) {
+  return BackwardSolve(l, ForwardSolve(l, b));
+}
+
+double CholeskyLogDet(const Matrix& l) {
+  double acc = 0.0;
+  for (size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace vdt

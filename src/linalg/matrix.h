@@ -1,0 +1,85 @@
+// Small dense linear algebra used by the Gaussian-process stack: a row-major
+// double matrix, Cholesky factorization, and triangular solves. Sized for
+// tuning histories (n <= a few hundred), so clarity beats blocking.
+#ifndef VDTUNER_LINALG_MATRIX_H_
+#define VDTUNER_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vdt {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row pointer (row-major layout).
+  double* RowPtr(size_t r) { return &data_[r * cols_]; }
+  const double* RowPtr(size_t r) const { return &data_[r * cols_]; }
+
+  Matrix Transpose() const;
+
+  /// Matrix product this * other. Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product this * v.
+  std::vector<double> MultiplyVec(const std::vector<double>& v) const;
+
+  /// Frobenius-norm distance to another matrix of identical shape.
+  double FrobeniusDistance(const Matrix& other) const;
+
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix:
+/// A = L * L^T. Returns FailedPrecondition when A is not (numerically) SPD.
+/// `jitter` is added to the diagonal before factorization (GP noise floor).
+Result<Matrix> CholeskyFactor(const Matrix& a, double jitter = 0.0);
+
+/// Solves L * y = b for lower-triangular L.
+std::vector<double> ForwardSolve(const Matrix& l, const std::vector<double>& b);
+
+/// Solves L^T * x = y for lower-triangular L (i.e., backward substitution).
+std::vector<double> BackwardSolve(const Matrix& l,
+                                  const std::vector<double>& y);
+
+/// Solves A * x = b given the Cholesky factor L of A.
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b);
+
+/// log(det(A)) given the Cholesky factor L of A: 2 * sum(log(L_ii)).
+double CholeskyLogDet(const Matrix& l);
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_LINALG_MATRIX_H_

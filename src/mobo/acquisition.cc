@@ -1,0 +1,35 @@
+#include "mobo/acquisition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace vdt {
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double NormalPdf(double x) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double ExpectedImprovement(double mean, double stddev, double best) {
+  if (stddev <= 1e-12) return std::max(0.0, mean - best);
+  const double z = (mean - best) / stddev;
+  return (mean - best) * NormalCdf(z) + stddev * NormalPdf(z);
+}
+
+double ProbabilityAbove(double mean, double stddev, double threshold) {
+  if (stddev <= 1e-12) return mean > threshold ? 1.0 : 0.0;
+  return NormalCdf((mean - threshold) / stddev);
+}
+
+double ConstrainedExpectedImprovement(double speed_mean, double speed_stddev,
+                                      double best_speed, double recall_mean,
+                                      double recall_stddev,
+                                      double recall_floor) {
+  return ExpectedImprovement(speed_mean, speed_stddev, best_speed) *
+         ProbabilityAbove(recall_mean, recall_stddev, recall_floor);
+}
+
+}  // namespace vdt

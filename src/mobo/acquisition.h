@@ -1,0 +1,31 @@
+// Single-objective acquisition functions: expected improvement (EI) and the
+// constrained EI of the paper's Eq. 7 (EI on search speed times the
+// probability that recall exceeds the user's floor).
+#ifndef VDTUNER_MOBO_ACQUISITION_H_
+#define VDTUNER_MOBO_ACQUISITION_H_
+
+namespace vdt {
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Standard normal PDF.
+double NormalPdf(double x);
+
+/// Expected improvement for maximization: E[max(Y - best, 0)] with
+/// Y ~ Normal(mean, stddev^2). Degenerates to max(mean - best, 0) as
+/// stddev -> 0.
+double ExpectedImprovement(double mean, double stddev, double best);
+
+/// P(Y > threshold) with Y ~ Normal(mean, stddev^2).
+double ProbabilityAbove(double mean, double stddev, double threshold);
+
+/// Constrained EI (paper Eq. 7): EI(speed) * P(recall > recall_floor).
+double ConstrainedExpectedImprovement(double speed_mean, double speed_stddev,
+                                      double best_speed, double recall_mean,
+                                      double recall_stddev,
+                                      double recall_floor);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_MOBO_ACQUISITION_H_

@@ -1,0 +1,113 @@
+#include "mobo/ehvi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "mobo/quadrature.h"
+
+namespace vdt {
+namespace {
+
+/// Precomputed sweep structure for evaluating many HVI queries against one
+/// front: front sorted by obj0 descending plus running max of obj1.
+struct FrontSweep {
+  // Sorted, reference-clipped front.
+  std::vector<Point2> pts;
+  Point2 ref;
+
+  explicit FrontSweep(const std::vector<Point2>& front, const Point2& r)
+      : ref(r) {
+    pts.reserve(front.size());
+    for (const auto& p : front) {
+      if (p[0] > r[0] && p[1] > r[1]) pts.push_back(p);
+    }
+    SortFrontByFirstDesc(&pts);
+    // Keep only the non-dominated staircase (strictly increasing obj1 as
+    // obj0 decreases).
+    std::vector<Point2> stair;
+    double best_y = -std::numeric_limits<double>::infinity();
+    for (const auto& p : pts) {
+      if (p[1] > best_y) {
+        stair.push_back(p);
+        best_y = p[1];
+      }
+    }
+    pts = std::move(stair);
+  }
+
+  /// Hypervolume improvement of adding y (O(front size)).
+  double Hvi(double y0, double y1) const {
+    if (y0 <= ref[0] || y1 <= ref[1]) return 0.0;
+    // Area of {z : ref < z <= y} minus the part already dominated by the
+    // staircase. Sweep stripes of obj0 between successive front points.
+    double improvement = 0.0;
+    double right = y0;                // current stripe's right edge (clipped)
+    double dominated_height = ref[1];  // height dominated within the stripe
+    // Walk front points from large obj0 to small. A front point with
+    // obj0 >= y0 raises the dominated height before our region starts.
+    size_t i = 0;
+    while (i < pts.size() && pts[i][0] >= y0) {
+      dominated_height = std::max(dominated_height, pts[i][1]);
+      ++i;
+    }
+    for (; i < pts.size(); ++i) {
+      const double left = std::max(pts[i][0], ref[0]);
+      if (left >= right) {
+        dominated_height = std::max(dominated_height, pts[i][1]);
+        continue;
+      }
+      if (y1 > dominated_height) {
+        improvement += (right - left) * (y1 - dominated_height);
+      }
+      right = left;
+      dominated_height = std::max(dominated_height, pts[i][1]);
+      if (dominated_height >= y1) {
+        // Everything further left is already dominated above y1.
+        right = ref[0];
+        break;
+      }
+    }
+    if (right > ref[0] && y1 > dominated_height) {
+      improvement += (right - ref[0]) * (y1 - dominated_height);
+    }
+    return improvement;
+  }
+};
+
+}  // namespace
+
+double EhviQuadrature(const BivariateGaussian& belief,
+                      const std::vector<Point2>& front, const Point2& ref,
+                      size_t nodes) {
+  const FrontSweep sweep(front, ref);
+  const GaussHermiteRule& rule = GaussHermite(nodes);
+  constexpr double kInvPi = 0.3183098861837907;  // tensor rule normalizer
+  const double s0 = std::numbers::sqrt2 * std::max(belief.stddev0, 1e-12);
+  const double s1 = std::numbers::sqrt2 * std::max(belief.stddev1, 1e-12);
+  double acc = 0.0;
+  for (size_t i = 0; i < nodes; ++i) {
+    const double y0 = belief.mean0 + s0 * rule.nodes[i];
+    for (size_t j = 0; j < nodes; ++j) {
+      const double y1 = belief.mean1 + s1 * rule.nodes[j];
+      acc += rule.weights[i] * rule.weights[j] * sweep.Hvi(y0, y1);
+    }
+  }
+  return acc * kInvPi;
+}
+
+double EhviMonteCarlo(const BivariateGaussian& belief,
+                      const std::vector<Point2>& front, const Point2& ref,
+                      size_t num_samples, Rng* rng) {
+  const FrontSweep sweep(front, ref);
+  double acc = 0.0;
+  for (size_t s = 0; s < num_samples; ++s) {
+    const double y0 = belief.mean0 + belief.stddev0 * rng->Normal();
+    const double y1 = belief.mean1 + belief.stddev1 * rng->Normal();
+    acc += sweep.Hvi(y0, y1);
+  }
+  return acc / static_cast<double>(num_samples);
+}
+
+}  // namespace vdt

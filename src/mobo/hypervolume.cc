@@ -1,0 +1,40 @@
+#include "mobo/hypervolume.h"
+
+#include <algorithm>
+
+namespace vdt {
+
+double Hypervolume2D(const std::vector<Point2>& points, const Point2& ref) {
+  // Keep only points strictly above the reference in both objectives.
+  std::vector<Point2> pts;
+  pts.reserve(points.size());
+  for (const auto& p : points) {
+    if (p[0] > ref[0] && p[1] > ref[1]) pts.push_back(p);
+  }
+  if (pts.empty()) return 0.0;
+  SortFrontByFirstDesc(&pts);
+
+  // Horizontal-slab sweep: walking obj0 descending, each point contributes a
+  // rectangle above the running maximum of obj1.
+  double hv = 0.0;
+  double cur_y = ref[1];
+  for (const auto& p : pts) {
+    if (p[1] > cur_y) {
+      hv += (p[0] - ref[0]) * (p[1] - cur_y);
+      cur_y = p[1];
+    }
+  }
+  return hv;
+}
+
+double HypervolumeImprovement2D(const Point2& y,
+                                const std::vector<Point2>& points,
+                                const Point2& ref) {
+  const double base = Hypervolume2D(points, ref);
+  std::vector<Point2> extended = points;
+  extended.push_back(y);
+  const double grown = Hypervolume2D(extended, ref);
+  return std::max(0.0, grown - base);
+}
+
+}  // namespace vdt

@@ -1,0 +1,25 @@
+// Exact 2-D hypervolume (both objectives maximized): the area dominated by a
+// point set and bounded below by a reference point. This is the HV() of the
+// paper's Eq. 4-6.
+#ifndef VDTUNER_MOBO_HYPERVOLUME_H_
+#define VDTUNER_MOBO_HYPERVOLUME_H_
+
+#include <vector>
+
+#include "mobo/pareto.h"
+
+namespace vdt {
+
+/// Hypervolume of `points` w.r.t. reference `ref`. Points that do not
+/// strictly dominate the reference contribute nothing. O(n log n) sweep.
+double Hypervolume2D(const std::vector<Point2>& points, const Point2& ref);
+
+/// Hypervolume improvement of adding `y` to `points` (>= 0):
+/// HV(points ∪ {y}) - HV(points). O(n log n).
+double HypervolumeImprovement2D(const Point2& y,
+                                const std::vector<Point2>& points,
+                                const Point2& ref);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_MOBO_HYPERVOLUME_H_

@@ -1,0 +1,69 @@
+#include "mobo/pareto.h"
+
+#include <algorithm>
+
+namespace vdt {
+
+bool Dominates(const Point2& a, const Point2& b) {
+  return a[0] >= b[0] && a[1] >= b[1] && (a[0] > b[0] || a[1] > b[1]);
+}
+
+std::vector<size_t> NonDominatedIndices(const std::vector<Point2>& points) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (j != i && Dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Point2> ParetoFront(const std::vector<Point2>& points) {
+  std::vector<Point2> out;
+  for (size_t i : NonDominatedIndices(points)) out.push_back(points[i]);
+  return out;
+}
+
+std::vector<int> ParetoRanks(const std::vector<Point2>& points) {
+  const size_t n = points.size();
+  std::vector<int> rank(n, 0);
+  std::vector<bool> assigned(n, false);
+  size_t remaining = n;
+  int level = 1;
+  while (remaining > 0) {
+    // Find points not dominated by any other unassigned point.
+    std::vector<size_t> layer;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      bool dominated = false;
+      for (size_t j = 0; j < n; ++j) {
+        if (!assigned[j] && j != i && Dominates(points[j], points[i])) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) layer.push_back(i);
+    }
+    for (size_t i : layer) {
+      rank[i] = level;
+      assigned[i] = true;
+    }
+    remaining -= layer.size();
+    ++level;
+  }
+  return rank;
+}
+
+void SortFrontByFirstDesc(std::vector<Point2>* front) {
+  std::sort(front->begin(), front->end(), [](const Point2& a, const Point2& b) {
+    if (a[0] != b[0]) return a[0] > b[0];
+    return a[1] > b[1];
+  });
+}
+
+}  // namespace vdt

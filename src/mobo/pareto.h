@@ -1,0 +1,37 @@
+// Pareto-dominance utilities over two maximization objectives (search speed,
+// recall rate). Used by the hypervolume/EHVI machinery, VDTuner's NPI
+// normalization (Eq. 2-3) and the index scoring function (Eq. 5-6).
+#ifndef VDTUNER_MOBO_PARETO_H_
+#define VDTUNER_MOBO_PARETO_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace vdt {
+
+/// One bi-objective outcome; both components are maximized.
+using Point2 = std::array<double, 2>;
+
+/// True when `a` weakly dominates `b` and is strictly better in at least one
+/// objective (maximization).
+bool Dominates(const Point2& a, const Point2& b);
+
+/// Indices of the non-dominated points (the Pareto front), in input order.
+/// Duplicate points are all kept.
+std::vector<size_t> NonDominatedIndices(const std::vector<Point2>& points);
+
+/// The non-dominated subset itself.
+std::vector<Point2> ParetoFront(const std::vector<Point2>& points);
+
+/// Pareto rank of each point: 1 for the front, 2 after removing the front,
+/// and so on (non-dominated sorting).
+std::vector<int> ParetoRanks(const std::vector<Point2>& points);
+
+/// Sorts a Pareto front by objective 0 descending (so objective 1 ascends for
+/// strictly non-dominated sets); required by the 2-D hypervolume sweep.
+void SortFrontByFirstDesc(std::vector<Point2>* front);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_MOBO_PARETO_H_

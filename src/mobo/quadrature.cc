@@ -1,0 +1,72 @@
+#include "mobo/quadrature.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+namespace vdt {
+namespace {
+
+// Newton iteration on the Hermite polynomial recurrence (Numerical Recipes
+// "gauher", physicists' convention).
+GaussHermiteRule ComputeGaussHermite(size_t n) {
+  assert(n >= 1 && n <= 128);
+  GaussHermiteRule rule;
+  rule.nodes.assign(n, 0.0);
+  rule.weights.assign(n, 0.0);
+
+  const double kPim4 = 0.7511255444649425;  // pi^{-1/4}
+  const size_t m = (n + 1) / 2;
+  double z = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    // Initial guesses for the largest roots, then refine downward.
+    if (i == 0) {
+      z = std::sqrt(2.0 * n + 1.0) -
+          1.85575 * std::pow(2.0 * n + 1.0, -1.0 / 6.0);
+    } else if (i == 1) {
+      z -= 1.14 * std::pow(static_cast<double>(n), 0.426) / z;
+    } else if (i == 2) {
+      z = 1.86 * z - 0.86 * rule.nodes[0];
+    } else if (i == 3) {
+      z = 1.91 * z - 0.91 * rule.nodes[1];
+    } else {
+      z = 2.0 * z - rule.nodes[i - 2];
+    }
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      double p1 = kPim4;
+      double p2 = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        const double p3 = p2;
+        p2 = p1;
+        p1 = z * std::sqrt(2.0 / (j + 1.0)) * p2 -
+             std::sqrt(static_cast<double>(j) / (j + 1.0)) * p3;
+      }
+      pp = std::sqrt(2.0 * n) * p2;
+      const double z1 = z;
+      z = z1 - p1 / pp;
+      if (std::abs(z - z1) <= 1e-15) break;
+    }
+    rule.nodes[i] = z;
+    rule.nodes[n - 1 - i] = -z;
+    rule.weights[i] = 2.0 / (pp * pp);
+    rule.weights[n - 1 - i] = rule.weights[i];
+  }
+  return rule;
+}
+
+}  // namespace
+
+const GaussHermiteRule& GaussHermite(size_t n) {
+  static std::mutex mu;
+  static std::map<size_t, GaussHermiteRule> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, ComputeGaussHermite(n)).first;
+  }
+  return it->second;
+}
+
+}  // namespace vdt

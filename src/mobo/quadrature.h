@@ -1,0 +1,39 @@
+// Gauss-Hermite quadrature for Gaussian expectations. The deterministic EHVI
+// estimator integrates the hypervolume improvement over the surrogate's
+// bivariate (independent) Gaussian posterior with a tensor GH rule.
+#ifndef VDTUNER_MOBO_QUADRATURE_H_
+#define VDTUNER_MOBO_QUADRATURE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vdt {
+
+/// Nodes and weights of the n-point Gauss-Hermite rule (physicists'
+/// convention): integral of e^{-t^2} f(t) dt ~= sum_i w_i f(t_i).
+struct GaussHermiteRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+/// Computes the n-point rule by Newton iteration on the Hermite recurrence
+/// (accurate to ~1e-14 for n <= 64). Results are cached per n.
+const GaussHermiteRule& GaussHermite(size_t n);
+
+/// Expectation E[f(Y)] for Y ~ Normal(mean, stddev^2), with the n-point rule.
+template <typename F>
+double GaussianExpectation(double mean, double stddev, size_t n, F&& f) {
+  const GaussHermiteRule& rule = GaussHermite(n);
+  // y = mean + sqrt(2) * stddev * t; weights normalize by 1/sqrt(pi).
+  constexpr double kInvSqrtPi = 0.5641895835477563;
+  const double scale = 1.4142135623730951 * stddev;
+  double acc = 0.0;
+  for (size_t i = 0; i < rule.nodes.size(); ++i) {
+    acc += rule.weights[i] * f(mean + scale * rule.nodes[i]);
+  }
+  return acc * kInvSqrtPi;
+}
+
+}  // namespace vdt
+
+#endif  // VDTUNER_MOBO_QUADRATURE_H_

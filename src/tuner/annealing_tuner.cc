@@ -1,0 +1,59 @@
+#include "tuner/annealing_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdt {
+
+AnnealingTuner::AnnealingTuner(const ParamSpace* space, Evaluator* evaluator,
+                               TunerOptions options,
+                               AnnealingOptions annealing)
+    : Tuner(space, evaluator, options),
+      annealing_(annealing),
+      rng_(options.seed ^ 0x5AULL),
+      temperature_(annealing.initial_temperature) {}
+
+double AnnealingTuner::Score(const Observation& obs) const {
+  double max_primary = 1e-9, max_recall = 1e-9;
+  for (const Observation& h : history_) {
+    max_primary = std::max(max_primary, h.primary);
+    max_recall = std::max(max_recall, h.feedback_recall);
+  }
+  return 0.5 * obs.primary / max_primary +
+         0.5 * obs.feedback_recall / max_recall;
+}
+
+TuningConfig AnnealingTuner::Propose() {
+  // Digest the outcome of the previous proposal (Metropolis acceptance).
+  if (!history_.empty() && !pending_.empty()) {
+    const Observation& last = history_.back();
+    const double score = Score(last);
+    const bool accept =
+        !has_current_ || score > current_score_ ||
+        rng_.Uniform() <
+            std::exp((score - current_score_) / std::max(1e-9, temperature_));
+    if (accept) {
+      current_ = pending_;
+      current_score_ = score;
+      has_current_ = true;
+    }
+    temperature_ *= annealing_.cooling_rate;
+  }
+
+  if (!has_current_) {
+    pending_ = space_->SamplePoint(&rng_);
+    return space_->Decode(pending_);
+  }
+
+  // Gaussian step around the current point; width shrinks with temperature.
+  const double width = annealing_.step_stddev *
+                       std::max(0.2, temperature_ /
+                                         annealing_.initial_temperature);
+  pending_ = current_;
+  for (double& v : pending_) {
+    v = std::clamp(v + rng_.Normal(0.0, width), 0.0, 1.0);
+  }
+  return space_->Decode(pending_);
+}
+
+}  // namespace vdt

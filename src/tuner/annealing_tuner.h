@@ -1,0 +1,43 @@
+// Simulated-annealing baseline: the paper's §II-C cites naive-search methods
+// ("random and simulated annealing") as lacking efficiency because they
+// cannot exploit historical information — this implementation makes that
+// comparison concrete. Weighted-sum objective, geometric cooling.
+#ifndef VDTUNER_TUNER_ANNEALING_TUNER_H_
+#define VDTUNER_TUNER_ANNEALING_TUNER_H_
+
+#include "tuner/tuner.h"
+
+namespace vdt {
+
+struct AnnealingOptions {
+  double initial_temperature = 0.3;
+  double cooling_rate = 0.95;   // T <- T * rate per accepted/rejected step
+  double step_stddev = 0.15;    // Gaussian proposal width in [0,1] space
+};
+
+class AnnealingTuner : public Tuner {
+ public:
+  AnnealingTuner(const ParamSpace* space, Evaluator* evaluator,
+                 TunerOptions options, AnnealingOptions annealing = {});
+
+  const char* Name() const override { return "SimAnneal"; }
+
+ protected:
+  TuningConfig Propose() override;
+
+ private:
+  /// Weighted-sum score of an observation under history-max normalization.
+  double Score(const Observation& obs) const;
+
+  AnnealingOptions annealing_;
+  Rng rng_;
+  std::vector<double> current_;  // current accepted point
+  double current_score_ = -1.0;
+  double temperature_;
+  bool has_current_ = false;
+  std::vector<double> pending_;  // the proposal awaiting evaluation
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_ANNEALING_TUNER_H_

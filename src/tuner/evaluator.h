@@ -1,0 +1,80 @@
+// The evaluator: turns a TuningConfig into measured objectives by standing
+// up a collection (ingest -> seal -> index build) and replaying the
+// workload. Handles failures (infeasible parameters, replay timeouts) and
+// simulates paper-scale evaluation time for the tuning-time experiments
+// (Fig. 7, Table VI). A build cache shares collections across
+// configurations that differ only in search-time knobs.
+#ifndef VDTUNER_TUNER_EVALUATOR_H_
+#define VDTUNER_TUNER_EVALUATOR_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "tuner/param_space.h"
+#include "workload/replay.h"
+#include "workload/workload.h"
+
+namespace vdt {
+
+/// Raw outcome of evaluating one configuration.
+struct EvalOutcome {
+  bool failed = false;
+  std::string fail_reason;
+  double qps = 0.0;
+  double recall = 0.0;
+  double memory_gib = 0.0;
+  /// Simulated paper-scale seconds this evaluation would take:
+  /// data load + index build + workload replay.
+  double eval_seconds = 0.0;
+};
+
+/// Interface so tests can substitute synthetic objective surfaces.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  virtual EvalOutcome Evaluate(const TuningConfig& config) = 0;
+};
+
+/// Options for the VDMS-backed evaluator.
+struct VdmsEvaluatorOptions {
+  DatasetProfile profile = DatasetProfile::kGlove;
+  ReplayOptions replay;
+  uint64_t seed = 13;
+  /// Built collections cached across evaluations (keyed by segment layout +
+  /// index build signature). 0 disables caching.
+  size_t cache_capacity = 24;
+};
+
+/// Evaluates configurations against a real collection built over `data`.
+class VdmsEvaluator : public Evaluator {
+ public:
+  /// `data` and `workload` must outlive the evaluator.
+  VdmsEvaluator(const FloatMatrix* data, const Workload* workload,
+                VdmsEvaluatorOptions options);
+
+  EvalOutcome Evaluate(const TuningConfig& config) override;
+
+  /// Cache statistics (for the overhead analysis).
+  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_misses() const { return cache_misses_; }
+
+ private:
+  std::string CacheKey(const TuningConfig& config) const;
+  std::shared_ptr<Collection> BuildCollection(const TuningConfig& config,
+                                              Status* status);
+
+  const FloatMatrix* data_;
+  const Workload* workload_;
+  VdmsEvaluatorOptions options_;
+
+  // LRU cache of built collections.
+  std::list<std::pair<std::string, std::shared_ptr<Collection>>> lru_;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_EVALUATOR_H_

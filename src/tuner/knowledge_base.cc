@@ -1,0 +1,136 @@
+#include "tuner/knowledge_base.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vdt {
+namespace {
+
+constexpr const char* kHeader = "vdtuner-knowledge-base-v1";
+
+std::string FormatFull(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SerializeObservation(const Observation& obs,
+                                 const ParamSpace& space) {
+  std::ostringstream os;
+  os << obs.iteration << '\t' << (obs.failed ? 1 : 0) << '\t'
+     << FormatFull(obs.qps) << '\t' << FormatFull(obs.recall) << '\t'
+     << FormatFull(obs.memory_gib) << '\t' << FormatFull(obs.primary) << '\t'
+     << FormatFull(obs.feedback_recall) << '\t'
+     << FormatFull(obs.recommend_seconds) << '\t'
+     << FormatFull(obs.eval_seconds) << '\t'
+     << FormatFull(obs.cum_tuning_seconds);
+  // The encoded configuration reconstructs the typed config on load.
+  const std::vector<double> x =
+      obs.x.size() == space.dims() ? obs.x : space.Encode(obs.config);
+  for (double v : x) os << '\t' << FormatFull(v);
+  return os.str();
+}
+
+Result<Observation> ParseObservation(const std::string& line,
+                                     const ParamSpace& space) {
+  std::istringstream is(line);
+  std::string field;
+  std::vector<std::string> fields;
+  while (std::getline(is, field, '\t')) fields.push_back(field);
+  const size_t expected = 10 + space.dims();
+  if (fields.size() != expected) {
+    return Status::InvalidArgument("expected " + std::to_string(expected) +
+                                   " fields, got " +
+                                   std::to_string(fields.size()));
+  }
+
+  Observation obs;
+  char* end = nullptr;
+  auto parse_double = [&](const std::string& s, double* out) -> bool {
+    *out = std::strtod(s.c_str(), &end);
+    return end != s.c_str();
+  };
+  obs.iteration = std::atoi(fields[0].c_str());
+  obs.failed = fields[1] == "1";
+  double v = 0;
+  if (!parse_double(fields[2], &obs.qps)) {
+    return Status::InvalidArgument("bad qps field");
+  }
+  if (!parse_double(fields[3], &obs.recall)) {
+    return Status::InvalidArgument("bad recall field");
+  }
+  if (!parse_double(fields[4], &obs.memory_gib)) {
+    return Status::InvalidArgument("bad memory field");
+  }
+  if (!parse_double(fields[5], &obs.primary)) {
+    return Status::InvalidArgument("bad primary field");
+  }
+  if (!parse_double(fields[6], &obs.feedback_recall)) {
+    return Status::InvalidArgument("bad feedback_recall field");
+  }
+  if (!parse_double(fields[7], &obs.recommend_seconds)) {
+    return Status::InvalidArgument("bad recommend_seconds field");
+  }
+  if (!parse_double(fields[8], &obs.eval_seconds)) {
+    return Status::InvalidArgument("bad eval_seconds field");
+  }
+  if (!parse_double(fields[9], &obs.cum_tuning_seconds)) {
+    return Status::InvalidArgument("bad cum_tuning_seconds field");
+  }
+  (void)v;
+
+  obs.x.resize(space.dims());
+  for (size_t d = 0; d < space.dims(); ++d) {
+    if (!parse_double(fields[10 + d], &obs.x[d])) {
+      return Status::InvalidArgument("bad coordinate " + std::to_string(d));
+    }
+  }
+  obs.config = space.Decode(obs.x);
+  return obs;
+}
+
+Status SaveKnowledgeBase(const std::string& path,
+                         const std::vector<Observation>& history,
+                         const ParamSpace& space) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  out << kHeader << '\n';
+  for (const Observation& obs : history) {
+    out << SerializeObservation(obs, space) << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::vector<Observation>> LoadKnowledgeBase(const std::string& path,
+                                                   const ParamSpace& space) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("bad or missing knowledge-base header");
+  }
+  std::vector<Observation> history;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Result<Observation> obs = ParseObservation(line, space);
+    if (!obs.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
+                                     obs.status().message());
+    }
+    history.push_back(std::move(*obs));
+  }
+  return history;
+}
+
+}  // namespace vdt

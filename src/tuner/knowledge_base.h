@@ -1,0 +1,39 @@
+// Knowledge base persistence (the "Knowledge Base" box of the paper's
+// Fig. 5): tuning histories saved to and loaded from disk, so a later
+// session — a new recall floor (§IV-F bootstrapping), a workload shift
+// (online tuning), or a different machine — starts from everything already
+// learned. Plain line-oriented text format, versioned, no dependencies.
+#ifndef VDTUNER_TUNER_KNOWLEDGE_BASE_H_
+#define VDTUNER_TUNER_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuner/tuner.h"
+
+namespace vdt {
+
+/// Serializes one observation as a single line (tab-separated fields; the
+/// encoded configuration vector carries full precision).
+std::string SerializeObservation(const Observation& obs,
+                                 const ParamSpace& space);
+
+/// Parses a line produced by SerializeObservation.
+Result<Observation> ParseObservation(const std::string& line,
+                                     const ParamSpace& space);
+
+/// Writes `history` to `path` (overwrites). The file starts with a
+/// versioned header line.
+Status SaveKnowledgeBase(const std::string& path,
+                         const std::vector<Observation>& history,
+                         const ParamSpace& space);
+
+/// Reads a knowledge base written by SaveKnowledgeBase. Fails on version
+/// mismatch or malformed lines (no partial results).
+Result<std::vector<Observation>> LoadKnowledgeBase(const std::string& path,
+                                                   const ParamSpace& space);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_KNOWLEDGE_BASE_H_

@@ -1,0 +1,91 @@
+#include "tuner/online_tuner.h"
+
+#include <algorithm>
+
+namespace vdt {
+
+const char* OnlineEventName(OnlineEvent event) {
+  switch (event) {
+    case OnlineEvent::kSteady:
+      return "steady";
+    case OnlineEvent::kDriftDetected:
+      return "drift-detected";
+    case OnlineEvent::kRetuned:
+      return "retuned";
+    case OnlineEvent::kRetunedNoGain:
+      return "retuned-no-gain";
+  }
+  return "?";
+}
+
+OnlineVdTuner::OnlineVdTuner(const ParamSpace* space, Evaluator* evaluator,
+                             OnlineTunerOptions options)
+    : space_(space), evaluator_(evaluator), options_(options) {
+  incumbent_ = space->DefaultConfig(IndexType::kAutoIndex);
+}
+
+std::optional<Observation> OnlineVdTuner::RunSession(int iters,
+                                                     uint64_t seed_salt) {
+  TunerOptions topts = options_.tuner;
+  topts.seed = options_.tuner.seed + seed_salt * 7919;
+  VdTuner tuner(space_, evaluator_, topts, options_.vdtuner);
+  if (!history_.empty()) tuner.Bootstrap(history_);
+  tuner.Run(iters);
+
+  // Fold the session into the knowledge base.
+  history_.insert(history_.end(), tuner.history().begin(),
+                  tuner.history().end());
+
+  const Observation* best = nullptr;
+  const double floor = options_.tuner.recall_floor.value_or(0.0);
+  for (const Observation& o : tuner.history()) {
+    if (o.failed || o.recall < floor) continue;
+    if (best == nullptr || o.primary > best->primary) best = &o;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+void OnlineVdTuner::Promote(const Observation& obs) {
+  incumbent_ = obs.config;
+  incumbent_qps_ = obs.qps;
+  incumbent_recall_ = obs.recall;
+  has_incumbent_ = true;
+}
+
+void OnlineVdTuner::Initialize(int initial_iters) {
+  auto best = RunSession(initial_iters, ++session_counter_);
+  if (best.has_value()) Promote(*best);
+}
+
+OnlineEvent OnlineVdTuner::Tick() {
+  // Measure the incumbent under the *current* workload.
+  const EvalOutcome live = evaluator_->Evaluate(incumbent_);
+  const double tol = 1.0 - options_.degradation_tolerance;
+  const bool degraded = live.failed || !has_incumbent_ ||
+                        live.qps < incumbent_qps_ * tol ||
+                        live.recall < incumbent_recall_ * tol;
+  if (!degraded) {
+    // Track slow improvement of the baseline (e.g. cache warm-up) so the
+    // degradation reference stays current.
+    incumbent_qps_ = std::max(incumbent_qps_, live.qps);
+    incumbent_recall_ = std::max(incumbent_recall_, live.recall);
+    return OnlineEvent::kSteady;
+  }
+
+  ++retune_count_;
+  auto best = RunSession(options_.retune_iters, ++session_counter_);
+  if (!best.has_value()) return OnlineEvent::kDriftDetected;
+
+  const double live_qps = live.failed ? 0.0 : live.qps;
+  if (best->qps > live_qps) {
+    Promote(*best);
+    return OnlineEvent::kRetuned;
+  }
+  // Keep the incumbent but reset its reference to the degraded level.
+  incumbent_qps_ = live_qps;
+  incumbent_recall_ = live.failed ? 0.0 : live.recall;
+  return OnlineEvent::kRetunedNoGain;
+}
+
+}  // namespace vdt

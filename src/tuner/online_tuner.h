@@ -1,0 +1,87 @@
+// Online tuning (the paper's §VII future work: "extend VDTuner to an online
+// version to actively capture different workloads"). OnlineVdTuner watches
+// the deployed configuration's live performance; when a workload shift
+// degrades it beyond a tolerance, a re-tuning session starts, bootstrapped
+// with the full evaluation history (§IV-F machinery reused), and promotes a
+// new incumbent when one beats the degraded deployment.
+#ifndef VDTUNER_TUNER_ONLINE_TUNER_H_
+#define VDTUNER_TUNER_ONLINE_TUNER_H_
+
+#include <memory>
+#include <optional>
+
+#include "tuner/vdtuner.h"
+
+namespace vdt {
+
+struct OnlineTunerOptions {
+  /// Re-tune when live QPS or recall drops below (1 - tolerance) x the
+  /// values the incumbent config achieved when it was promoted.
+  double degradation_tolerance = 0.15;
+  /// Iterations per re-tuning session.
+  int retune_iters = 20;
+  TunerOptions tuner;
+  VdtunerOptions vdtuner;
+};
+
+/// Events reported by the controller (for observability/tests).
+enum class OnlineEvent {
+  kSteady,          // incumbent healthy, no action
+  kDriftDetected,   // degradation beyond tolerance; re-tuning triggered
+  kRetuned,         // re-tune finished, better incumbent promoted
+  kRetunedNoGain,   // re-tune finished, incumbent kept
+};
+
+const char* OnlineEventName(OnlineEvent event);
+
+/// The online controller. The caller owns the evaluator, whose behaviour
+/// may change over time as the live workload shifts (pass a fresh evaluator
+/// bound to the new workload via SetEvaluator, or an evaluator that
+/// internally tracks the drifting workload).
+class OnlineVdTuner {
+ public:
+  OnlineVdTuner(const ParamSpace* space, Evaluator* evaluator,
+                OnlineTunerOptions options);
+
+  /// Bootstraps the incumbent with an initial offline tuning session.
+  void Initialize(int initial_iters);
+
+  /// Re-points the controller at a new evaluator (e.g. the live workload
+  /// changed shape). Prior history is retained for bootstrapping.
+  void SetEvaluator(Evaluator* evaluator) { evaluator_ = evaluator; }
+
+  /// One control-loop tick: measures the incumbent under the current
+  /// workload and re-tunes if it degraded. Returns what happened.
+  OnlineEvent Tick();
+
+  const TuningConfig& incumbent() const { return incumbent_; }
+  double incumbent_qps() const { return incumbent_qps_; }
+  double incumbent_recall() const { return incumbent_recall_; }
+  /// All evaluations ever made (bootstrap pool for re-tuning sessions).
+  const std::vector<Observation>& knowledge_base() const { return history_; }
+  int retune_count() const { return retune_count_; }
+
+ private:
+  /// Runs one tuning session bootstrapped with `history_`, returns its best
+  /// observation under the current evaluator (nullopt if nothing feasible).
+  std::optional<Observation> RunSession(int iters, uint64_t seed_salt);
+
+  void Promote(const Observation& obs);
+
+  const ParamSpace* space_;
+  Evaluator* evaluator_;
+  OnlineTunerOptions options_;
+
+  TuningConfig incumbent_;
+  double incumbent_qps_ = 0.0;
+  double incumbent_recall_ = 0.0;
+  bool has_incumbent_ = false;
+
+  std::vector<Observation> history_;
+  int retune_count_ = 0;
+  uint64_t session_counter_ = 0;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_ONLINE_TUNER_H_

@@ -1,0 +1,112 @@
+#include "tuner/opentuner_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdt {
+
+OpenTunerLike::OpenTunerLike(const ParamSpace* space, Evaluator* evaluator,
+                             TunerOptions options)
+    : Tuner(space, evaluator, options), rng_(options.seed ^ 0x0917) {}
+
+double OpenTunerLike::Reward(const Observation& obs) const {
+  double max_primary = 1e-9, max_recall = 1e-9;
+  for (const Observation& h : history_) {
+    max_primary = std::max(max_primary, h.primary);
+    max_recall = std::max(max_recall, h.feedback_recall);
+  }
+  return 0.5 * obs.primary / max_primary +
+         0.5 * obs.feedback_recall / max_recall;
+}
+
+std::vector<double> OpenTunerLike::BestPoint() const {
+  const Observation* best = nullptr;
+  double best_reward = -1.0;
+  for (const Observation& h : history_) {
+    const double r = Reward(h);
+    if (r > best_reward) {
+      best_reward = r;
+      best = &h;
+    }
+  }
+  if (best != nullptr) return best->x;
+  return space_->Encode(space_->DefaultConfig(IndexType::kAutoIndex));
+}
+
+OpenTunerLike::Technique OpenTunerLike::ChooseTechnique() {
+  // AUC bandit: exploit average credit, explore sqrt(2 ln t / n).
+  double t = 1.0;
+  for (double u : uses_) t += u;
+  int best = 0;
+  double best_score = -1e30;
+  for (int i = 0; i < kNumTechniques; ++i) {
+    if (uses_[i] == 0) return static_cast<Technique>(i);  // try each once
+    const double exploit = credit_[i] / uses_[i];
+    const double explore = std::sqrt(2.0 * std::log(t) / uses_[i]);
+    const double score = exploit + explore;
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return static_cast<Technique>(best);
+}
+
+TuningConfig OpenTunerLike::Propose() {
+  // Credit the previous technique when the global best reward improved.
+  if (last_technique_ >= 0 && !history_.empty()) {
+    double best_reward = 0.0;
+    for (const Observation& h : history_) {
+      best_reward = std::max(best_reward, Reward(h));
+    }
+    if (best_reward > last_best_reward_ + 1e-12) {
+      credit_[last_technique_] += 1.0;
+      last_best_reward_ = best_reward;
+    }
+  }
+
+  const Technique tech = ChooseTechnique();
+  ++uses_[tech];
+  last_technique_ = tech;
+
+  const size_t dims = space_->dims();
+  std::vector<double> x = BestPoint();
+
+  switch (tech) {
+    case kUniformRandom:
+      x = space_->SamplePoint(&rng_);
+      break;
+    case kSingleParamMutation: {
+      // Hill-climbing move on one coordinate (OpenTuner treats parameters
+      // as independent — the paper's Challenge 1 critique).
+      const size_t d = static_cast<size_t>(rng_.UniformInt(dims));
+      x[d] = std::clamp(x[d] + rng_.Normal(0.0, 0.25), 0.0, 1.0);
+      break;
+    }
+    case kGaussianMutation:
+      for (auto& v : x) {
+        v = std::clamp(v + rng_.Normal(0.0, 0.08), 0.0, 1.0);
+      }
+      break;
+    case kPatternStep: {
+      // Repeat the last successful direction; re-randomize when absent.
+      if (pattern_dir_.size() != dims) {
+        pattern_dir_.assign(dims, 0.0);
+        for (auto& v : pattern_dir_) v = rng_.Normal(0.0, 0.1);
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        x[d] = std::clamp(x[d] + pattern_dir_[d], 0.0, 1.0);
+      }
+      // Occasionally flip the direction to escape dead ends.
+      if (rng_.Uniform() < 0.25) {
+        for (auto& v : pattern_dir_) v = rng_.Normal(0.0, 0.1);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return space_->Decode(x);
+}
+
+}  // namespace vdt

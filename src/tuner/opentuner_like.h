@@ -1,0 +1,52 @@
+// OpenTuner-like baseline (Ansel et al., PACT'14; paper §V-A): an ensemble
+// of numerical search techniques coordinated by an AUC-bandit meta-technique,
+// rewarded by the weighted sum of normalized search speed and recall.
+#ifndef VDTUNER_TUNER_OPENTUNER_LIKE_H_
+#define VDTUNER_TUNER_OPENTUNER_LIKE_H_
+
+#include "tuner/tuner.h"
+
+namespace vdt {
+
+class OpenTunerLike : public Tuner {
+ public:
+  OpenTunerLike(const ParamSpace* space, Evaluator* evaluator,
+                TunerOptions options);
+
+  const char* Name() const override { return "OpenTuner"; }
+
+ protected:
+  TuningConfig Propose() override;
+
+ private:
+  enum Technique {
+    kUniformRandom = 0,
+    kSingleParamMutation,
+    kGaussianMutation,
+    kPatternStep,
+    kNumTechniques,
+  };
+
+  /// Weighted-sum reward of an observation (normalized by history maxima).
+  double Reward(const Observation& obs) const;
+
+  /// Encoded vector of the best-reward observation so far (center of the
+  /// exploitation moves); the default configuration before any history.
+  std::vector<double> BestPoint() const;
+
+  /// AUC-bandit choice over techniques.
+  Technique ChooseTechnique();
+
+  Rng rng_;
+  // Bandit bookkeeping: uses and cumulative credit per technique.
+  double uses_[kNumTechniques] = {0};
+  double credit_[kNumTechniques] = {0};
+  int last_technique_ = -1;
+  double last_best_reward_ = 0.0;
+  // Pattern-step state: last successful direction.
+  std::vector<double> pattern_dir_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_OPENTUNER_LIKE_H_

@@ -1,0 +1,37 @@
+// OtterTune-like baseline (Van Aken et al., SIGMOD'17; paper §V-A):
+// single-objective Gaussian-process regression + expected improvement over
+// the weighted sum of normalized search speed and recall, with 10 LHS
+// initial samples. Index type is one more encoded dimension.
+#ifndef VDTUNER_TUNER_OTTERTUNE_LIKE_H_
+#define VDTUNER_TUNER_OTTERTUNE_LIKE_H_
+
+#include "gp/gp.h"
+#include "gp/sampling.h"
+#include "tuner/tuner.h"
+
+namespace vdt {
+
+class OtterTuneLike : public Tuner {
+ public:
+  OtterTuneLike(const ParamSpace* space, Evaluator* evaluator,
+                TunerOptions options, size_t candidate_pool = 256);
+
+  const char* Name() const override { return "OtterTune"; }
+
+ protected:
+  TuningConfig Propose() override;
+
+ private:
+  /// Weighted-sum score of one observation (normalized by history maxima).
+  double Score(const Observation& obs, double max_primary,
+               double max_recall) const;
+
+  Rng rng_;
+  size_t candidate_pool_;
+  std::vector<std::vector<double>> init_design_;
+  size_t next_init_ = 0;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_OTTERTUNE_LIKE_H_

@@ -1,0 +1,193 @@
+#include "tuner/param_space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace vdt {
+
+std::string TuningConfig::ToString() const {
+  std::ostringstream os;
+  os << "index=" << IndexTypeName(index_type) << " {" << index.ToString()
+     << "} {" << system.ToString() << "}";
+  return os.str();
+}
+
+ParamSpace::ParamSpace() {
+  defs_.resize(kNumParamDims);
+  // Categorical index type is embedded as an evenly spaced coordinate; the
+  // GP sees nearby types as "similar", which is a standard relaxation.
+  defs_[kDimIndexType] = {"index_type", ParamScale::kLinear, 0,
+                          kNumIndexTypes - 1, true,
+                          static_cast<double>(IndexType::kAutoIndex)};
+  defs_[kDimNlist] = {"nlist", ParamScale::kLog, 16, 1024, true, 128};
+  defs_[kDimNprobe] = {"nprobe", ParamScale::kLog, 1, 256, true, 16};
+  defs_[kDimPqM] = {"m", ParamScale::kLog, 2, 64, true, 8};
+  defs_[kDimPqNbits] = {"nbits", ParamScale::kLinear, 4, 12, true, 8};
+  defs_[kDimHnswM] = {"M", ParamScale::kLog, 4, 64, true, 16};
+  defs_[kDimEfConstruction] = {"efConstruction", ParamScale::kLog, 32, 512,
+                               true, 128};
+  defs_[kDimEf] = {"ef", ParamScale::kLog, 16, 512, true, 64};
+  defs_[kDimReorderK] = {"reorder_k", ParamScale::kLog, 10, 1000, true, 200};
+  defs_[kDimSegmentMaxSize] = {"segment_maxSize", ParamScale::kLog, 64, 2048,
+                               false, 512};
+  defs_[kDimSealProportion] = {"segment_sealProportion", ParamScale::kLinear,
+                               0.05, 1.0, false, 0.12};
+  defs_[kDimInsertBufSize] = {"insertBufSize", ParamScale::kLog, 4, 256, false,
+                              16};
+  defs_[kDimGracefulTime] = {"gracefulTime", ParamScale::kLinear, 0, 6000,
+                             false, 5000};
+  defs_[kDimMaxReadConcurrency] = {"maxReadConcurrency", ParamScale::kLog, 1,
+                                   256, true, 32};
+  defs_[kDimBuildIndexThreshold] = {"buildIndexThreshold", ParamScale::kLog,
+                                    32, 4096, true, 128};
+  defs_[kDimCacheRatio] = {"cacheRatio", ParamScale::kLinear, 0.05, 0.90,
+                           false, 0.30};
+}
+
+double ParamSpace::EncodeValue(size_t dim, double value) const {
+  const ParamDef& d = defs_[dim];
+  double coord;
+  if (d.scale == ParamScale::kLog) {
+    coord = (std::log(std::max(value, d.lo)) - std::log(d.lo)) /
+            (std::log(d.hi) - std::log(d.lo));
+  } else {
+    coord = (value - d.lo) / (d.hi - d.lo);
+  }
+  return std::clamp(coord, 0.0, 1.0);
+}
+
+double ParamSpace::DecodeValue(size_t dim, double coord) const {
+  const ParamDef& d = defs_[dim];
+  coord = std::clamp(coord, 0.0, 1.0);
+  double value;
+  if (d.scale == ParamScale::kLog) {
+    value = std::exp(std::log(d.lo) +
+                     coord * (std::log(d.hi) - std::log(d.lo)));
+  } else {
+    value = d.lo + coord * (d.hi - d.lo);
+  }
+  if (d.is_int) value = std::round(value);
+  return std::clamp(value, d.lo, d.hi);
+}
+
+double ParamSpace::EncodeIndexType(IndexType type) const {
+  return EncodeValue(kDimIndexType, static_cast<double>(type));
+}
+
+IndexType ParamSpace::DecodeIndexType(double coord) const {
+  const int t = static_cast<int>(DecodeValue(kDimIndexType, coord));
+  return static_cast<IndexType>(
+      std::clamp(t, 0, kNumIndexTypes - 1));
+}
+
+std::vector<double> ParamSpace::Encode(const TuningConfig& config) const {
+  std::vector<double> x(dims());
+  x[kDimIndexType] =
+      EncodeValue(kDimIndexType, static_cast<double>(config.index_type));
+  x[kDimNlist] = EncodeValue(kDimNlist, config.index.nlist);
+  x[kDimNprobe] = EncodeValue(kDimNprobe, config.index.nprobe);
+  x[kDimPqM] = EncodeValue(kDimPqM, config.index.m);
+  x[kDimPqNbits] = EncodeValue(kDimPqNbits, config.index.nbits);
+  x[kDimHnswM] = EncodeValue(kDimHnswM, config.index.hnsw_m);
+  x[kDimEfConstruction] =
+      EncodeValue(kDimEfConstruction, config.index.ef_construction);
+  x[kDimEf] = EncodeValue(kDimEf, config.index.ef);
+  x[kDimReorderK] = EncodeValue(kDimReorderK, config.index.reorder_k);
+  x[kDimSegmentMaxSize] =
+      EncodeValue(kDimSegmentMaxSize, config.system.segment_max_size_mb);
+  x[kDimSealProportion] =
+      EncodeValue(kDimSealProportion, config.system.seal_proportion);
+  x[kDimInsertBufSize] =
+      EncodeValue(kDimInsertBufSize, config.system.insert_buf_size_mb);
+  x[kDimGracefulTime] =
+      EncodeValue(kDimGracefulTime, config.system.graceful_time_ms);
+  x[kDimMaxReadConcurrency] =
+      EncodeValue(kDimMaxReadConcurrency, config.system.max_read_concurrency);
+  x[kDimBuildIndexThreshold] = EncodeValue(
+      kDimBuildIndexThreshold, config.system.build_index_threshold);
+  x[kDimCacheRatio] = EncodeValue(kDimCacheRatio, config.system.cache_ratio);
+  return x;
+}
+
+TuningConfig ParamSpace::Decode(const std::vector<double>& x) const {
+  assert(x.size() == dims());
+  TuningConfig c;
+  c.index_type = DecodeIndexType(x[kDimIndexType]);
+  c.index.nlist = static_cast<int>(DecodeValue(kDimNlist, x[kDimNlist]));
+  c.index.nprobe = static_cast<int>(DecodeValue(kDimNprobe, x[kDimNprobe]));
+  c.index.m = static_cast<int>(DecodeValue(kDimPqM, x[kDimPqM]));
+  c.index.nbits = static_cast<int>(DecodeValue(kDimPqNbits, x[kDimPqNbits]));
+  c.index.hnsw_m = static_cast<int>(DecodeValue(kDimHnswM, x[kDimHnswM]));
+  c.index.ef_construction = static_cast<int>(
+      DecodeValue(kDimEfConstruction, x[kDimEfConstruction]));
+  c.index.ef = static_cast<int>(DecodeValue(kDimEf, x[kDimEf]));
+  c.index.reorder_k =
+      static_cast<int>(DecodeValue(kDimReorderK, x[kDimReorderK]));
+  c.system.segment_max_size_mb =
+      DecodeValue(kDimSegmentMaxSize, x[kDimSegmentMaxSize]);
+  c.system.seal_proportion =
+      DecodeValue(kDimSealProportion, x[kDimSealProportion]);
+  c.system.insert_buf_size_mb =
+      DecodeValue(kDimInsertBufSize, x[kDimInsertBufSize]);
+  c.system.graceful_time_ms =
+      DecodeValue(kDimGracefulTime, x[kDimGracefulTime]);
+  c.system.max_read_concurrency = static_cast<int>(
+      DecodeValue(kDimMaxReadConcurrency, x[kDimMaxReadConcurrency]));
+  c.system.build_index_threshold = static_cast<int>(
+      DecodeValue(kDimBuildIndexThreshold, x[kDimBuildIndexThreshold]));
+  c.system.cache_ratio = DecodeValue(kDimCacheRatio, x[kDimCacheRatio]);
+  return c;
+}
+
+TuningConfig ParamSpace::DefaultConfig(IndexType type) const {
+  TuningConfig c;  // struct defaults are the Milvus defaults
+  c.index_type = type;
+  return c;
+}
+
+std::vector<size_t> ParamSpace::ActiveDims(IndexType type) const {
+  std::vector<size_t> dims;
+  switch (type) {
+    case IndexType::kIvfFlat:
+    case IndexType::kIvfSq8:
+      dims = {kDimNlist, kDimNprobe};
+      break;
+    case IndexType::kIvfPq:
+      dims = {kDimNlist, kDimNprobe, kDimPqM, kDimPqNbits};
+      break;
+    case IndexType::kHnsw:
+      dims = {kDimHnswM, kDimEfConstruction, kDimEf};
+      break;
+    case IndexType::kScann:
+      dims = {kDimNlist, kDimNprobe, kDimReorderK};
+      break;
+    case IndexType::kFlat:
+    case IndexType::kAutoIndex:
+      break;  // no index parameters
+  }
+  for (size_t d = kDimSegmentMaxSize; d < kNumParamDims; ++d) {
+    dims.push_back(d);
+  }
+  return dims;
+}
+
+std::vector<double> ParamSpace::SamplePoint(Rng* rng) const {
+  std::vector<double> x(dims());
+  for (auto& v : x) v = rng->Uniform();
+  return x;
+}
+
+void ParamSpace::PinForIndexType(IndexType type, std::vector<double>* x) const {
+  assert(x->size() == dims());
+  (*x)[kDimIndexType] = EncodeIndexType(type);
+  const std::vector<size_t> active = ActiveDims(type);
+  for (size_t d = 1; d < kNumParamDims; ++d) {
+    if (std::find(active.begin(), active.end(), d) == active.end()) {
+      (*x)[d] = EncodeValue(d, defs_[d].default_value);
+    }
+  }
+}
+
+}  // namespace vdt

@@ -1,0 +1,106 @@
+// The 16-dimensional holistic configuration space of §V-A: one categorical
+// index-type dimension, 8 index parameters (Table I), and 7 system
+// parameters. Encodes/decodes between typed configurations and [0,1]^16
+// vectors (the GP's input space), and exposes the per-index-type active
+// subspaces VDTuner's polling acquisition needs.
+#ifndef VDTUNER_TUNER_PARAM_SPACE_H_
+#define VDTUNER_TUNER_PARAM_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/index.h"
+#include "vdms/system_config.h"
+
+namespace vdt {
+
+/// A complete VDMS configuration: the tuning unit.
+struct TuningConfig {
+  IndexType index_type = IndexType::kAutoIndex;
+  IndexParams index;
+  SystemConfig system;
+
+  std::string ToString() const;
+};
+
+/// How a dimension maps to [0,1].
+enum class ParamScale { kLinear, kLog };
+
+/// One tunable dimension.
+struct ParamDef {
+  std::string name;
+  ParamScale scale = ParamScale::kLinear;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool is_int = false;
+  double default_value = 0.0;
+};
+
+/// Dimension indices within the encoded vector (fixed layout).
+enum ParamIndex : size_t {
+  kDimIndexType = 0,
+  kDimNlist,
+  kDimNprobe,
+  kDimPqM,
+  kDimPqNbits,
+  kDimHnswM,
+  kDimEfConstruction,
+  kDimEf,
+  kDimReorderK,
+  kDimSegmentMaxSize,
+  kDimSealProportion,
+  kDimInsertBufSize,
+  kDimGracefulTime,
+  kDimMaxReadConcurrency,
+  kDimBuildIndexThreshold,
+  kDimCacheRatio,
+  kNumParamDims,  // == 16
+};
+
+/// The holistic space (paper §IV-A).
+class ParamSpace {
+ public:
+  ParamSpace();
+
+  size_t dims() const { return defs_.size(); }
+  const ParamDef& def(size_t i) const { return defs_[i]; }
+
+  /// Encodes a typed configuration into [0,1]^16.
+  std::vector<double> Encode(const TuningConfig& config) const;
+
+  /// Decodes a [0,1]^16 vector into a typed configuration (values clamped
+  /// and rounded to validity).
+  TuningConfig Decode(const std::vector<double>& x) const;
+
+  /// The Milvus default configuration (the paper's Default baseline) with
+  /// the given index type.
+  TuningConfig DefaultConfig(IndexType type) const;
+
+  /// Encoded dimensions that are tunable when optimizing `type`: the
+  /// type-specific index parameters plus all system parameters. The
+  /// index-type dimension itself and other types' parameters are excluded
+  /// (the acquisition pins them, paper §IV-C).
+  std::vector<size_t> ActiveDims(IndexType type) const;
+
+  /// Uniform random point in [0,1]^dims.
+  std::vector<double> SamplePoint(Rng* rng) const;
+
+  /// Pins x's inactive dimensions for `type`: sets the index-type dimension
+  /// to `type` and every other index type's parameters to their defaults.
+  void PinForIndexType(IndexType type, std::vector<double>* x) const;
+
+  /// The encoded coordinate of `type` on the index-type dimension.
+  double EncodeIndexType(IndexType type) const;
+  IndexType DecodeIndexType(double coord) const;
+
+ private:
+  double EncodeValue(size_t dim, double value) const;
+  double DecodeValue(size_t dim, double coord) const;
+
+  std::vector<ParamDef> defs_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_PARAM_SPACE_H_

@@ -1,0 +1,34 @@
+// qEHVI baseline (Daulton et al., NeurIPS'20; paper §V-A): plain
+// multi-objective BO — independent GPs per objective, expected hypervolume
+// improvement acquisition with reference point 0, 10 LHS initial samples,
+// index type as one more encoded dimension. No polling, no NPI, no budget
+// allocation: this isolates exactly what VDTuner adds.
+#ifndef VDTUNER_TUNER_QEHVI_TUNER_H_
+#define VDTUNER_TUNER_QEHVI_TUNER_H_
+
+#include "gp/gp.h"
+#include "gp/sampling.h"
+#include "tuner/tuner.h"
+
+namespace vdt {
+
+class QehviTuner : public Tuner {
+ public:
+  QehviTuner(const ParamSpace* space, Evaluator* evaluator,
+             TunerOptions options, size_t candidate_pool = 256);
+
+  const char* Name() const override { return "qEHVI"; }
+
+ protected:
+  TuningConfig Propose() override;
+
+ private:
+  Rng rng_;
+  size_t candidate_pool_;
+  std::vector<std::vector<double>> init_design_;
+  size_t next_init_ = 0;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_QEHVI_TUNER_H_

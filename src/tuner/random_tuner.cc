@@ -1,0 +1,18 @@
+#include "tuner/random_tuner.h"
+
+namespace vdt {
+
+RandomTuner::RandomTuner(const ParamSpace* space, Evaluator* evaluator,
+                         TunerOptions options, size_t design_size)
+    : Tuner(space, evaluator, options), rng_(options.seed) {
+  design_ = LatinHypercube(design_size, space->dims(), &rng_);
+}
+
+TuningConfig RandomTuner::Propose() {
+  if (next_ < design_.size()) {
+    return space_->Decode(design_[next_++]);
+  }
+  return space_->Decode(space_->SamplePoint(&rng_));
+}
+
+}  // namespace vdt

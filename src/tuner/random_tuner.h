@@ -1,0 +1,29 @@
+// Random baseline (paper §V-A): Latin hypercube sampling over the full
+// 16-dimensional space, index type treated as one more dimension.
+#ifndef VDTUNER_TUNER_RANDOM_TUNER_H_
+#define VDTUNER_TUNER_RANDOM_TUNER_H_
+
+#include "gp/sampling.h"
+#include "tuner/tuner.h"
+
+namespace vdt {
+
+class RandomTuner : public Tuner {
+ public:
+  RandomTuner(const ParamSpace* space, Evaluator* evaluator,
+              TunerOptions options, size_t design_size = 512);
+
+  const char* Name() const override { return "Random"; }
+
+ protected:
+  TuningConfig Propose() override;
+
+ private:
+  std::vector<std::vector<double>> design_;
+  size_t next_ = 0;
+  Rng rng_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_RANDOM_TUNER_H_

@@ -1,0 +1,46 @@
+// Monte-Carlo Shapley attribution (Lundberg & Lee, NeurIPS'17; paper §V-E
+// Fig. 13b): how much each of the 16 parameters contributes to a target
+// metric (memory usage, search speed) when moved from the default
+// configuration to a chosen configuration, averaged over coalition orders.
+#ifndef VDTUNER_TUNER_SHAP_H_
+#define VDTUNER_TUNER_SHAP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "tuner/param_space.h"
+
+namespace vdt {
+
+/// Value function: metric of an encoded configuration in [0,1]^d.
+using MetricFn = std::function<double(const std::vector<double>&)>;
+
+struct ShapAttribution {
+  std::string param_name;
+  size_t dim = 0;
+  double contribution = 0.0;  // Shapley value toward (target - baseline)
+};
+
+struct ShapOptions {
+  int num_permutations = 24;
+  uint64_t seed = 5;
+};
+
+/// Shapley values for moving each coordinate from `baseline` to `target`
+/// under `metric`. Exact in expectation; contributions sum to
+/// metric(target) - metric(baseline) per permutation.
+std::vector<ShapAttribution> ShapleyAttribution(
+    const ParamSpace& space, const MetricFn& metric,
+    const std::vector<double>& baseline, const std::vector<double>& target,
+    const ShapOptions& options);
+
+/// Fits a GP to (x, y) from a tuning history and returns its posterior mean
+/// as a MetricFn (the standard surrogate-SHAP pipeline).
+MetricFn SurrogateMetric(const std::vector<std::vector<double>>& xs,
+                         const std::vector<double>& ys, uint64_t seed);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_SHAP_H_

@@ -1,0 +1,122 @@
+#include "tuner/tuner.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace vdt {
+
+Tuner::Tuner(const ParamSpace* space, Evaluator* evaluator,
+             TunerOptions options)
+    : space_(space), evaluator_(evaluator), options_(options) {}
+
+void Tuner::Run(int iters) {
+  for (int i = 0; i < iters; ++i) Step();
+}
+
+double Tuner::PrimaryValue(const EvalOutcome& outcome) const {
+  if (options_.primary == PrimaryObjective::kCostEffectiveness) {
+    const double denom = std::max(1e-9, options_.eta * outcome.memory_gib);
+    return outcome.qps / denom;
+  }
+  return outcome.qps;
+}
+
+const Observation& Tuner::Step() {
+  Stopwatch recommend_timer;
+  TuningConfig config = Propose();
+  const double recommend_s = recommend_timer.ElapsedSeconds();
+
+  EvalOutcome outcome = evaluator_->Evaluate(config);
+
+  Observation obs;
+  obs.iteration = static_cast<int>(history_.size()) + 1;
+  obs.config = config;
+  obs.x = space_->Encode(config);
+  obs.failed = outcome.failed;
+  obs.qps = outcome.qps;
+  obs.recall = outcome.recall;
+  obs.memory_gib = outcome.memory_gib;
+  obs.recommend_seconds = recommend_s;
+  obs.eval_seconds = outcome.eval_seconds;
+
+  if (outcome.failed) {
+    // Paper §V-A: failed configurations feed back the worst values in
+    // history to avoid distorting the surrogate's scaling.
+    double worst_primary = 1.0;
+    double worst_recall = 0.0;
+    bool any = false;
+    for (const Observation& h : history_) {
+      if (h.failed) continue;
+      if (!any || h.primary < worst_primary) worst_primary = h.primary;
+      if (!any || h.feedback_recall < worst_recall) {
+        worst_recall = h.feedback_recall;
+      }
+      any = true;
+    }
+    obs.primary = any ? worst_primary : 1.0;
+    obs.feedback_recall = any ? worst_recall : 0.0;
+  } else {
+    obs.primary = PrimaryValue(outcome);
+    obs.feedback_recall = outcome.recall;
+  }
+
+  cum_seconds_ += recommend_s + obs.eval_seconds;
+  obs.cum_tuning_seconds = cum_seconds_;
+
+  history_.push_back(std::move(obs));
+  return history_.back();
+}
+
+void Tuner::Bootstrap(const std::vector<Observation>& prior) {
+  bootstrap_.insert(bootstrap_.end(), prior.begin(), prior.end());
+}
+
+std::vector<const Observation*> Tuner::TrainingSet() const {
+  std::vector<const Observation*> set;
+  set.reserve(bootstrap_.size() + history_.size());
+  for (const auto& o : bootstrap_) set.push_back(&o);
+  for (const auto& o : history_) set.push_back(&o);
+  return set;
+}
+
+std::vector<Point2> Tuner::TrainingPoints() const {
+  std::vector<Point2> pts;
+  for (const Observation* o : TrainingSet()) {
+    pts.push_back({o->primary, o->feedback_recall});
+  }
+  return pts;
+}
+
+double BestPrimaryUnderRecallFloor(const std::vector<Observation>& history,
+                                   double recall_floor) {
+  double best = 0.0;
+  for (const Observation& o : history) {
+    if (!o.failed && o.recall >= recall_floor) {
+      best = std::max(best, o.primary);
+    }
+  }
+  return best;
+}
+
+int IterationsToReach(const std::vector<Observation>& history,
+                      double recall_floor, double target_primary) {
+  for (const Observation& o : history) {
+    if (!o.failed && o.recall >= recall_floor && o.primary >= target_primary) {
+      return o.iteration;
+    }
+  }
+  return -1;
+}
+
+double SecondsToReach(const std::vector<Observation>& history,
+                      double recall_floor, double target_primary) {
+  for (const Observation& o : history) {
+    if (!o.failed && o.recall >= recall_floor && o.primary >= target_primary) {
+      return o.cum_tuning_seconds;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace vdt

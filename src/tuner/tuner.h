@@ -1,0 +1,118 @@
+// The tuning loop shared by VDTuner and every baseline: propose -> evaluate
+// -> record, with the paper's failure handling (failed configurations are
+// fed back with the worst values observed so far, §V-A) and tuning-time
+// accounting (real recommendation time + simulated paper-scale replay time).
+#ifndef VDTUNER_TUNER_TUNER_H_
+#define VDTUNER_TUNER_TUNER_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mobo/pareto.h"
+#include "tuner/evaluator.h"
+#include "tuner/param_space.h"
+
+namespace vdt {
+
+/// What the speed-like objective is (paper §V-E cost-effectiveness study).
+enum class PrimaryObjective {
+  kSearchSpeed,        // QPS
+  kCostEffectiveness,  // QP$ = QPS / (eta * memory_GiB), Eq. 8
+};
+
+struct TunerOptions {
+  uint64_t seed = 42;
+  /// LHS initialization budget for the BO baselines (paper §V-A).
+  int init_samples = 10;
+  PrimaryObjective primary = PrimaryObjective::kSearchSpeed;
+  /// $ per second-GiB (Eq. 8); scale-free for the tuners (paper note).
+  double eta = 1.0;
+  /// Optional user preference: optimize speed subject to recall > floor
+  /// (§IV-F). Honored by VDTuner's constraint model; baselines ignore it.
+  std::optional<double> recall_floor;
+};
+
+/// One evaluated configuration in the tuning history.
+struct Observation {
+  int iteration = 0;
+  TuningConfig config;
+  std::vector<double> x;  // encoded configuration
+
+  bool failed = false;
+  double qps = 0.0;
+  double recall = 0.0;
+  double memory_gib = 0.0;
+
+  /// Feedback values the tuner learns from (worst-filled when failed).
+  double primary = 0.0;
+  double feedback_recall = 0.0;
+
+  /// Real seconds this framework spent choosing the configuration.
+  double recommend_seconds = 0.0;
+  /// Simulated paper-scale seconds for load + build + replay.
+  double eval_seconds = 0.0;
+  /// Running total of (recommend + eval) seconds up to this observation.
+  double cum_tuning_seconds = 0.0;
+};
+
+/// Base tuner: owns the history and the propose/evaluate/record loop.
+class Tuner {
+ public:
+  Tuner(const ParamSpace* space, Evaluator* evaluator, TunerOptions options);
+  virtual ~Tuner() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Runs `iters` propose-evaluate-record steps.
+  void Run(int iters);
+
+  /// One step; returns the recorded observation.
+  const Observation& Step();
+
+  const std::vector<Observation>& history() const { return history_; }
+
+  /// Injects prior observations (the bootstrapping of §IV-F): they seed the
+  /// surrogate but are not counted in this run's iterations or time.
+  virtual void Bootstrap(const std::vector<Observation>& prior);
+
+ protected:
+  /// Strategy hook: the next configuration to evaluate.
+  virtual TuningConfig Propose() = 0;
+
+  /// Primary objective value of a successful outcome.
+  double PrimaryValue(const EvalOutcome& outcome) const;
+
+  /// Observations visible to surrogates: history + bootstrap prior.
+  std::vector<const Observation*> TrainingSet() const;
+
+  /// (primary, recall) feedback points of the training set.
+  std::vector<Point2> TrainingPoints() const;
+
+  const ParamSpace* space_;
+  Evaluator* evaluator_;
+  TunerOptions options_;
+  std::vector<Observation> history_;
+  std::vector<Observation> bootstrap_;
+  double cum_seconds_ = 0.0;
+};
+
+/// Best primary value among observations satisfying recall >= floor
+/// (0 when none qualifies). The paper's Fig. 6/7 metric.
+double BestPrimaryUnderRecallFloor(const std::vector<Observation>& history,
+                                   double recall_floor);
+
+/// First iteration (1-based) reaching primary >= target with recall >= floor;
+/// -1 when never reached. Used for the "x times faster" comparisons.
+int IterationsToReach(const std::vector<Observation>& history,
+                      double recall_floor, double target_primary);
+
+/// Cumulative tuning seconds at the first iteration reaching the target;
+/// -1 when never reached.
+double SecondsToReach(const std::vector<Observation>& history,
+                      double recall_floor, double target_primary);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_TUNER_H_

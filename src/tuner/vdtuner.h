@@ -1,0 +1,95 @@
+// VDTuner (paper §IV): polling Bayesian optimization over the holistic
+// 16-dim space. Components:
+//  - Initial sampling: each index type's default configuration (Alg. 1 l.1-5).
+//  - Polling surrogate: a multi-output GP trained on NPI-normalized
+//    objectives (Eq. 2-3), removing cross-index performance scale so no
+//    index type's region dominates exploration (§IV-B).
+//  - Acquisition: EHVI (Eq. 4) over candidates restricted to the polled
+//    index type's subspace, others pinned to defaults (§IV-C); reference
+//    point r = 0.5 * base = (0.5, 0.5) in NPI space.
+//  - Budget allocation: round-robin polling with successive abandonment —
+//    the index type with the lowest hypervolume-influence score (Eq. 5-6)
+//    for `abandon_window` consecutive iterations is dropped (§IV-D).
+//  - User preference (§IV-F): with TunerOptions.recall_floor set, the
+//    acquisition switches to constrained EI (Eq. 7) and the NPI base
+//    becomes the per-index maximum; bootstrapping via Tuner::Bootstrap.
+#ifndef VDTUNER_TUNER_VDTUNER_H_
+#define VDTUNER_TUNER_VDTUNER_H_
+
+#include <array>
+#include <optional>
+
+#include "gp/gp.h"
+#include "tuner/tuner.h"
+
+namespace vdt {
+
+struct VdtunerOptions {
+  /// Iterations the worst index type must stay worst before abandonment
+  /// (paper §V-A: ten).
+  int abandon_window = 10;
+  /// Acquisition candidate pool per recommendation.
+  size_t candidate_pool = 256;
+  /// Ablations (Fig. 8): disable successive abandon -> plain round-robin;
+  /// disable the polling surrogate -> native GP on globally-normalized
+  /// objectives.
+  bool use_successive_abandon = true;
+  bool use_polling_surrogate = true;
+  /// EHVI quadrature nodes.
+  size_t ehvi_nodes = 12;
+};
+
+class VdTuner : public Tuner {
+ public:
+  VdTuner(const ParamSpace* space, Evaluator* evaluator, TunerOptions options,
+          VdtunerOptions vd_options = {});
+
+  const char* Name() const override { return "VDTuner"; }
+
+  /// Index types still in the polling rotation.
+  const std::vector<IndexType>& remaining() const { return remaining_; }
+
+  /// Per-iteration score snapshot (Fig. 9): scores[t] is Eq. 6 for index
+  /// type t, NaN once abandoned.
+  const std::vector<std::array<double, kNumIndexTypes>>& score_log() const {
+    return score_log_;
+  }
+
+ protected:
+  TuningConfig Propose() override;
+
+ private:
+  /// Per-index NPI base (Eq. 3, or per-index max under a recall constraint).
+  struct Base {
+    double primary = 1.0;
+    double recall = 1.0;
+  };
+
+  /// Balanced non-dominated point of `points` (Eq. 3).
+  static Point2 BalancedPoint(const std::vector<Point2>& points);
+
+  /// Eq. 6 scores for the remaining index types; also logs them.
+  std::array<double, kNumIndexTypes> ScoreIndexTypes();
+
+  /// Applies the windowed-variance abandonment trigger (§IV-D).
+  void MaybeAbandon(const std::array<double, kNumIndexTypes>& scores);
+
+  /// NPI bases for every index type under the current history (§IV-B/F).
+  std::array<Base, kNumIndexTypes> ComputeBases() const;
+
+  VdtunerOptions vd_;
+  Rng rng_;
+
+  std::vector<IndexType> remaining_;
+  size_t init_cursor_ = 0;  // walks the initial default-config sampling
+  size_t poll_cursor_ = 0;
+
+  IndexType last_worst_ = IndexType::kFlat;
+  int worst_streak_ = 0;
+
+  std::vector<std::array<double, kNumIndexTypes>> score_log_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_TUNER_VDTUNER_H_

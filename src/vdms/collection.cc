@@ -1,0 +1,166 @@
+#include "vdms/collection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/topk.h"
+
+namespace vdt {
+
+size_t ScaleModel::RowsForMb(double mb) const {
+  if (dataset_mb <= 0.0) return actual_rows;
+  const double rows =
+      mb / dataset_mb * static_cast<double>(std::max<size_t>(1, actual_rows));
+  return static_cast<size_t>(std::max(1.0, std::floor(rows)));
+}
+
+double ScaleModel::MbForRows(size_t rows) const {
+  if (actual_rows == 0) return 0.0;
+  const double projection_mb = memory_mb > 0.0 ? memory_mb : dataset_mb;
+  return static_cast<double>(rows) / static_cast<double>(actual_rows) *
+         projection_mb;
+}
+
+Collection::Collection(CollectionOptions options)
+    : options_(std::move(options)) {}
+
+size_t Collection::SealRows() const {
+  const double mb = std::max(
+      1e-6, options_.system.segment_max_size_mb *
+                std::clamp(options_.system.seal_proportion, 0.01, 1.0));
+  return std::max<size_t>(8, options_.scale.RowsForMb(mb));
+}
+
+size_t Collection::BufferRows() const {
+  return std::max<size_t>(
+      1, options_.scale.RowsForMb(
+             std::max(0.25, options_.system.insert_buf_size_mb)));
+}
+
+Status Collection::Insert(const FloatMatrix& rows) {
+  if (rows.empty()) return Status::OK();
+  if (dim_ == 0) {
+    dim_ = rows.dim();
+    buffer_ = FloatMatrix(0, dim_);
+  }
+  if (rows.dim() != dim_) {
+    return Status::InvalidArgument("dimension mismatch on insert");
+  }
+
+  const size_t buffer_cap = BufferRows();
+  const size_t seal_rows = SealRows();
+
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    buffer_.AppendRow(rows.Row(i), dim_);
+    ++next_id_;
+    if (buffer_.rows() >= buffer_cap) {
+      // Flush the buffer into the growing segment.
+      if (!growing_) {
+        growing_ = std::make_unique<Segment>(buffer_base_, dim_);
+      }
+      for (size_t j = 0; j < buffer_.rows(); ++j) {
+        growing_->Append(buffer_.Row(j), dim_);
+      }
+      buffer_ = FloatMatrix(0, dim_);
+      buffer_base_ = next_id_;
+      if (growing_->rows() >= seal_rows) {
+        VDT_RETURN_IF_ERROR(SealGrowing());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Collection::SealGrowing() {
+  if (!growing_) return Status::OK();
+  Status st = growing_->Seal(options_.index.type, options_.metric,
+                             options_.index.params,
+                             options_.system.build_index_threshold,
+                             options_.seed + sealed_.size() * 31 + 1);
+  if (!st.ok()) return st;
+  sealed_.push_back(std::move(growing_));
+  return Status::OK();
+}
+
+Status Collection::Flush() {
+  if (buffer_.rows() > 0) {
+    if (!growing_) {
+      growing_ = std::make_unique<Segment>(buffer_base_, dim_);
+    }
+    for (size_t j = 0; j < buffer_.rows(); ++j) {
+      growing_->Append(buffer_.Row(j), dim_);
+    }
+    buffer_ = FloatMatrix(0, dim_);
+  }
+  VDT_RETURN_IF_ERROR(SealGrowing());
+  buffer_base_ = next_id_;
+  return Status::OK();
+}
+
+std::vector<Neighbor> Collection::Search(const float* query, size_t k,
+                                         WorkCounters* counters) const {
+  TopKCollector merged(k);
+  for (const auto& seg : sealed_) {
+    for (const Neighbor& n : seg->Search(options_.metric, query, k, counters)) {
+      merged.Offer(n.id, n.distance);
+    }
+  }
+  if (growing_ && growing_->rows() > 0) {
+    for (const Neighbor& n :
+         growing_->Search(options_.metric, query, k, counters)) {
+      merged.Offer(n.id, n.distance);
+    }
+  }
+  if (buffer_.rows() > 0) {
+    auto hits = BruteForceSearch(buffer_, options_.metric, query, k, counters);
+    for (const Neighbor& n : hits) {
+      merged.Offer(n.id + buffer_base_, n.distance);
+    }
+  }
+  return merged.Take();
+}
+
+void Collection::UpdateSearchParams(const IndexParams& params) {
+  for (auto& seg : sealed_) seg->UpdateSearchParams(params);
+  if (growing_) growing_->UpdateSearchParams(params);
+  options_.index.params = params;
+}
+
+void Collection::OverrideRuntimeSystem(const SystemConfig& system) {
+  options_.system.graceful_time_ms = system.graceful_time_ms;
+  options_.system.max_read_concurrency = system.max_read_concurrency;
+  options_.system.cache_ratio = system.cache_ratio;
+}
+
+CollectionStats Collection::Stats() const {
+  CollectionStats s;
+  s.total_rows = static_cast<size_t>(next_id_);
+  s.num_sealed_segments = sealed_.size();
+  for (const auto& seg : sealed_) {
+    if (seg->indexed()) ++s.num_indexed_segments;
+    if (!seg->indexed()) s.growing_rows += seg->rows();  // brute-force rows
+    s.index_bytes_actual += seg->IndexMemoryBytes();
+  }
+  if (growing_) s.growing_rows += growing_->rows();
+  s.growing_rows += buffer_.rows();
+  s.buffered_rows = buffer_.rows();
+
+  s.data_mb_paper_scale = options_.scale.MbForRows(s.total_rows);
+  // Index overhead relative to the data it covers, projected to paper scale.
+  size_t covered_rows = 0;
+  for (const auto& seg : sealed_) {
+    if (seg->indexed()) covered_rows += seg->rows();
+  }
+  const double data_bytes_actual =
+      static_cast<double>(s.total_rows) * static_cast<double>(dim_) * 4.0;
+  if (data_bytes_actual > 0 && covered_rows > 0) {
+    const double index_ratio =
+        static_cast<double>(s.index_bytes_actual) /
+        (static_cast<double>(covered_rows) * static_cast<double>(dim_) * 4.0);
+    s.index_mb_paper_scale =
+        index_ratio * options_.scale.MbForRows(covered_rows);
+  }
+  return s;
+}
+
+}  // namespace vdt

@@ -1,0 +1,127 @@
+// A collection: the ingest pipeline (insert buffer -> growing segment ->
+// sealed segments with indexes) plus cross-segment top-k search. This is the
+// unit the tuner's evaluator instantiates per configuration.
+#ifndef VDTUNER_VDMS_COLLECTION_H_
+#define VDTUNER_VDMS_COLLECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/float_matrix.h"
+#include "common/status.h"
+#include "index/index.h"
+#include "vdms/segment.h"
+#include "vdms/system_config.h"
+
+namespace vdt {
+
+/// Index configuration of a collection: type plus parameter bag.
+struct IndexSpec {
+  IndexType type = IndexType::kAutoIndex;
+  IndexParams params;
+};
+
+/// Dataset-scale context that converts the synthetic stand-in dataset to the
+/// paper-scale deployment it represents (see DESIGN.md "Substitutions").
+///
+/// Two scales are deliberately separate:
+///  - `dataset_mb` drives the *segment layout*: how many actual rows an MB
+///    threshold (segment_maxSize * sealProportion, insertBufSize) maps to.
+///    It is chosen so the stand-in produces Milvus-realistic segment counts
+///    (a handful at defaults), keeping the speed/recall conflict intact —
+///    hundreds of tiny segments would act as an exact ensemble.
+///  - `memory_mb` drives the *memory/time projections* reported to the
+///    user and the cost model (defaults to dataset_mb when 0).
+struct ScaleModel {
+  /// Effective MB of the stand-in deployment (layout conversions).
+  double dataset_mb = 472.0;
+  /// MB the full paper-scale dataset occupies (memory projections).
+  double memory_mb = 0.0;
+  /// Rows in the actual stand-in matrix.
+  size_t actual_rows = 1;
+
+  /// Actual rows corresponding to `mb` megabytes under the layout scale.
+  size_t RowsForMb(double mb) const;
+  /// Projected (paper-scale) MB corresponding to `rows` actual rows.
+  double MbForRows(size_t rows) const;
+};
+
+/// Options for creating a collection.
+struct CollectionOptions {
+  std::string name = "collection";
+  Metric metric = Metric::kAngular;
+  SystemConfig system;
+  IndexSpec index;
+  ScaleModel scale;
+  uint64_t seed = 13;
+};
+
+/// Aggregate statistics used by the cost model and the memory model.
+struct CollectionStats {
+  size_t total_rows = 0;
+  size_t num_sealed_segments = 0;
+  size_t num_indexed_segments = 0;
+  size_t growing_rows = 0;   // growing segment + insert buffer (brute force)
+  size_t buffered_rows = 0;  // insert buffer only
+  size_t index_bytes_actual = 0;  // sum of index structures (actual scale)
+  double data_mb_paper_scale = 0.0;
+  double index_mb_paper_scale = 0.0;
+};
+
+/// The collection. Not thread-safe for concurrent inserts; Search is const
+/// and thread-safe after ingest completes.
+class Collection {
+ public:
+  explicit Collection(CollectionOptions options);
+
+  /// Inserts `rows` vectors; buffering/sealing/index builds happen inline,
+  /// mirroring the data path of the real system. Fails if any sealed
+  /// segment's index build fails (infeasible index parameters).
+  Status Insert(const FloatMatrix& rows);
+
+  /// Flushes the insert buffer into the growing segment and seals every
+  /// growing segment (end-of-ingest barrier, like Milvus flush+load).
+  Status Flush();
+
+  /// Merged top-k across sealed segments, the growing segment, and the
+  /// insert buffer. Thread-safe.
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               WorkCounters* counters) const;
+
+  /// Re-applies search-time index knobs (nprobe/ef/reorder_k) without
+  /// rebuilding — used by the evaluator's build cache.
+  void UpdateSearchParams(const IndexParams& params);
+
+  /// Overrides the system knobs that do not affect the segment layout
+  /// (graceful_time, max_read_concurrency, cache_ratio); the cost and memory
+  /// models read them from options(). Layout-affecting fields are left
+  /// untouched — callers guarantee they match (the build cache keys on them).
+  void OverrideRuntimeSystem(const SystemConfig& system);
+
+  CollectionStats Stats() const;
+  const CollectionOptions& options() const { return options_; }
+  size_t dim() const { return dim_; }
+
+  /// Rows at which a growing segment seals:
+  /// segment_max_size_mb * seal_proportion, in actual rows.
+  size_t SealRows() const;
+  /// Insert-buffer capacity in actual rows.
+  size_t BufferRows() const;
+
+ private:
+  Status SealGrowing();
+
+  CollectionOptions options_;
+  size_t dim_ = 0;
+  int64_t next_id_ = 0;
+
+  std::vector<std::unique_ptr<Segment>> sealed_;
+  std::unique_ptr<Segment> growing_;
+  FloatMatrix buffer_;       // insert buffer (pre-growing rows)
+  int64_t buffer_base_ = 0;  // collection id of buffer_ row 0
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_VDMS_COLLECTION_H_

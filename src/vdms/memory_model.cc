@@ -1,0 +1,40 @@
+#include "vdms/memory_model.h"
+
+#include <algorithm>
+
+namespace vdt {
+namespace {
+
+// Fixed footprint of coordinators, proxies, and metadata services.
+constexpr double kBaseMb = 512.0;
+// Compaction/build arena as a fraction of segment_max_size (Milvus compacts
+// up to maxSize into a new segment, holding both in memory).
+constexpr double kArenaFraction = 1.0;
+// Bookkeeping (binlog metadata, bloom filters, stats) per sealed segment.
+constexpr double kPerSegmentMb = 4.0;
+
+}  // namespace
+
+double MemoryBreakdown::TotalMb() const {
+  return base_mb + data_mb + index_mb + cache_mb + insert_buffer_mb +
+         arena_mb + segment_mb;
+}
+
+MemoryBreakdown ComputeMemory(const CollectionStats& stats,
+                              const SystemConfig& system) {
+  MemoryBreakdown m;
+  m.base_mb = kBaseMb;
+  m.data_mb = stats.data_mb_paper_scale;
+  m.index_mb = stats.index_mb_paper_scale;
+  m.cache_mb =
+      std::clamp(system.cache_ratio, 0.0, 1.0) * (m.data_mb + m.index_mb);
+  // Two shards' worth of insert buffers stay allocated while ingest runs.
+  m.insert_buffer_mb = 2.0 * std::max(0.25, system.insert_buf_size_mb);
+  m.arena_mb = kArenaFraction * std::max(1.0, system.segment_max_size_mb);
+  m.segment_mb =
+      kPerSegmentMb * static_cast<double>(std::max<size_t>(
+                          1, stats.num_sealed_segments));
+  return m;
+}
+
+}  // namespace vdt

@@ -1,0 +1,33 @@
+// Paper-scale memory accounting (the QP$ objective of §V-E needs GiB).
+// Components mirror where a Milvus deployment actually spends memory:
+// raw data + index structures + query-node cache + insert buffers +
+// compaction/build arenas + per-segment bookkeeping + fixed system base.
+#ifndef VDTUNER_VDMS_MEMORY_MODEL_H_
+#define VDTUNER_VDMS_MEMORY_MODEL_H_
+
+#include "vdms/collection.h"
+#include "vdms/system_config.h"
+
+namespace vdt {
+
+/// Breakdown of projected (paper-scale) memory usage, in MB.
+struct MemoryBreakdown {
+  double base_mb = 0.0;
+  double data_mb = 0.0;
+  double index_mb = 0.0;
+  double cache_mb = 0.0;
+  double insert_buffer_mb = 0.0;
+  double arena_mb = 0.0;     // compaction/build arenas scale with segment size
+  double segment_mb = 0.0;   // per-segment bookkeeping
+
+  double TotalMb() const;
+  double TotalGib() const { return TotalMb() / 1024.0; }
+};
+
+/// Projects the memory footprint of a collection under `system`.
+MemoryBreakdown ComputeMemory(const CollectionStats& stats,
+                              const SystemConfig& system);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_VDMS_MEMORY_MODEL_H_

@@ -1,0 +1,35 @@
+#include "vdms/segment.h"
+
+#include <algorithm>
+
+namespace vdt {
+
+Status Segment::Seal(IndexType type, Metric metric, const IndexParams& params,
+                     int build_threshold, uint64_t seed) {
+  if (sealed_) return Status::FailedPrecondition("segment already sealed");
+  sealed_ = true;
+  if (data_.rows() < static_cast<size_t>(std::max(1, build_threshold))) {
+    return Status::OK();  // stays brute-force
+  }
+  index_ = CreateIndex(type, metric, params, seed);
+  if (index_ == nullptr) return Status::Internal("unknown index type");
+  Status st = index_->Build(data_);
+  if (!st.ok()) index_.reset();
+  return st;
+}
+
+std::vector<Neighbor> Segment::Search(Metric metric, const float* query,
+                                      size_t k,
+                                      WorkCounters* counters) const {
+  std::vector<Neighbor> local =
+      index_ ? index_->Search(query, k, counters)
+             : BruteForceSearch(data_, metric, query, k, counters);
+  for (auto& n : local) n.id += base_id_;
+  return local;
+}
+
+void Segment::UpdateSearchParams(const IndexParams& params) {
+  if (index_) index_->UpdateSearchParams(params);
+}
+
+}  // namespace vdt

@@ -1,0 +1,60 @@
+// Segments: the storage unit of the VDMS. Growing segments accumulate rows
+// and are scanned brute-force; sealed segments own an immutable row range
+// and (above the build threshold) an ANNS index.
+#ifndef VDTUNER_VDMS_SEGMENT_H_
+#define VDTUNER_VDMS_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/float_matrix.h"
+#include "common/status.h"
+#include "index/index.h"
+
+namespace vdt {
+
+/// One sealed or growing segment. Row ids inside the segment are local;
+/// `base_id` maps them back to collection row ids.
+class Segment {
+ public:
+  Segment(int64_t base_id, size_t dim) : base_id_(base_id), data_(0, dim) {}
+
+  /// Appends one row (growing state only).
+  void Append(const float* row, size_t dim) {
+    data_.AppendRow(row, dim);
+  }
+
+  /// Seals the segment and builds `type` over its rows when they number at
+  /// least `build_threshold`; otherwise the segment stays index-less and is
+  /// scanned brute-force.
+  Status Seal(IndexType type, Metric metric, const IndexParams& params,
+              int build_threshold, uint64_t seed);
+
+  /// Top-k within this segment; ids in the result are collection row ids.
+  std::vector<Neighbor> Search(Metric metric, const float* query, size_t k,
+                               WorkCounters* counters) const;
+
+  /// Re-applies search-time knobs to the built index (no rebuild).
+  void UpdateSearchParams(const IndexParams& params);
+
+  bool sealed() const { return sealed_; }
+  bool indexed() const { return index_ != nullptr; }
+  size_t rows() const { return data_.rows(); }
+  int64_t base_id() const { return base_id_; }
+  const FloatMatrix& data() const { return data_; }
+
+  /// Bytes of the index structures (0 when index-less).
+  size_t IndexMemoryBytes() const {
+    return index_ ? index_->MemoryBytes() : 0;
+  }
+
+ private:
+  int64_t base_id_;
+  FloatMatrix data_;
+  bool sealed_ = false;
+  std::unique_ptr<VectorIndex> index_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_VDMS_SEGMENT_H_

@@ -1,0 +1,19 @@
+#include "vdms/system_config.h"
+
+#include <sstream>
+
+namespace vdt {
+
+std::string SystemConfig::ToString() const {
+  std::ostringstream os;
+  os << "segment_maxSize=" << segment_max_size_mb
+     << "MB sealProportion=" << seal_proportion
+     << " insertBufSize=" << insert_buf_size_mb
+     << "MB gracefulTime=" << graceful_time_ms
+     << "ms maxReadConcurrency=" << max_read_concurrency
+     << " buildIndexThreshold=" << build_index_threshold
+     << " cacheRatio=" << cache_ratio;
+  return os.str();
+}
+
+}  // namespace vdt

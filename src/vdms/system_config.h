@@ -1,0 +1,43 @@
+// The seven tunable system parameters of the VDMS (paper §V-A tunes 7 system
+// parameters recommended by the Milvus configuration documentation, plus the
+// index type and 8 index parameters = 16 dimensions).
+#ifndef VDTUNER_VDMS_SYSTEM_CONFIG_H_
+#define VDTUNER_VDMS_SYSTEM_CONFIG_H_
+
+#include <string>
+
+namespace vdt {
+
+/// System-level knobs shared by every index type. Semantics mirror Milvus:
+///  - segment_max_size_mb     dataCoord.segment.maxSize: capacity of one
+///                            segment; growing segments seal at
+///                            maxSize * seal_proportion.
+///  - seal_proportion         dataCoord.segment.sealProportion.
+///  - insert_buf_size_mb      dataNode.flush.insertBufSize: rows buffer in
+///                            memory before flushing into a growing segment;
+///                            buffered rows are searched brute-force.
+///  - graceful_time_ms        common.gracefulTime: bounded-staleness window;
+///                            queries stall while the ingest clock lags by
+///                            more than this.
+///  - max_read_concurrency    queryNode.scheduler.maxReadConcurrency.
+///  - build_index_threshold   sealed segments with fewer rows than this are
+///                            scanned brute-force instead of being indexed
+///                            (Milvus' growing/small-segment behaviour).
+///  - cache_ratio             queryNode cache budget as a fraction of the
+///                            collection size; misses pay a bandwidth
+///                            penalty, residency costs memory.
+struct SystemConfig {
+  double segment_max_size_mb = 512.0;
+  double seal_proportion = 0.12;
+  double insert_buf_size_mb = 16.0;
+  double graceful_time_ms = 5000.0;
+  int max_read_concurrency = 32;
+  int build_index_threshold = 128;
+  double cache_ratio = 0.30;
+
+  std::string ToString() const;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_VDMS_SYSTEM_CONFIG_H_

@@ -1,0 +1,92 @@
+#include "vdms/vdms.h"
+
+namespace vdt {
+
+Status VdmsEngine::CreateCollection(const CollectionOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (collections_.count(options.name) > 0) {
+    return Status::AlreadyExists("collection '" + options.name + "' exists");
+  }
+  collections_.emplace(options.name, std::make_unique<Collection>(options));
+  return Status::OK();
+}
+
+Status VdmsEngine::DropCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound("collection '" + name + "' not found");
+  }
+  return Status::OK();
+}
+
+bool VdmsEngine::HasCollection(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collections_.count(name) > 0;
+}
+
+std::vector<std::string> VdmsEngine::ListCollections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, _] : collections_) names.push_back(name);
+  return names;
+}
+
+Status VdmsEngine::Insert(const std::string& name, const FloatMatrix& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' not found");
+  }
+  return it->second->Insert(rows);
+}
+
+Status VdmsEngine::Flush(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' not found");
+  }
+  return it->second->Flush();
+}
+
+Result<std::vector<Neighbor>> VdmsEngine::Search(const std::string& name,
+                                                 const float* query, size_t k,
+                                                 WorkCounters* counters) const {
+  const Collection* coll = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = collections_.find(name);
+    if (it == collections_.end()) {
+      return Status::NotFound("collection '" + name + "' not found");
+    }
+    coll = it->second.get();
+  }
+  return coll->Search(query, k, counters);
+}
+
+Result<CollectionStats> VdmsEngine::GetStats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' not found");
+  }
+  return it->second->Stats();
+}
+
+Result<MemoryBreakdown> VdmsEngine::GetMemory(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' not found");
+  }
+  return ComputeMemory(it->second->Stats(), it->second->options().system);
+}
+
+Collection* VdmsEngine::GetCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace vdt

@@ -1,0 +1,59 @@
+// VdmsEngine: the top-level database API (create/drop collections, insert,
+// flush, search). A thin, thread-safe management layer over Collection —
+// this is the surface the examples program against.
+#ifndef VDTUNER_VDMS_VDMS_H_
+#define VDTUNER_VDMS_VDMS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vdms/collection.h"
+#include "vdms/memory_model.h"
+
+namespace vdt {
+
+/// An in-process vector data management system instance.
+class VdmsEngine {
+ public:
+  VdmsEngine() = default;
+
+  VdmsEngine(const VdmsEngine&) = delete;
+  VdmsEngine& operator=(const VdmsEngine&) = delete;
+
+  /// Creates a collection; fails with AlreadyExists on a name collision.
+  Status CreateCollection(const CollectionOptions& options);
+
+  /// Drops a collection; fails with NotFound when absent.
+  Status DropCollection(const std::string& name);
+
+  bool HasCollection(const std::string& name) const;
+  std::vector<std::string> ListCollections() const;
+
+  /// Inserts rows into `name`.
+  Status Insert(const std::string& name, const FloatMatrix& rows);
+
+  /// Flushes buffered rows and seals growing segments of `name`.
+  Status Flush(const std::string& name);
+
+  /// Top-k search. `counters` may be null.
+  Result<std::vector<Neighbor>> Search(const std::string& name,
+                                       const float* query, size_t k,
+                                       WorkCounters* counters = nullptr) const;
+
+  Result<CollectionStats> GetStats(const std::string& name) const;
+  Result<MemoryBreakdown> GetMemory(const std::string& name) const;
+
+  /// Direct access for the tuner's evaluator (nullptr when absent).
+  Collection* GetCollection(const std::string& name);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_VDMS_VDMS_H_

@@ -1,0 +1,163 @@
+#include "workload/datasets.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "common/random.h"
+
+namespace vdt {
+namespace {
+
+const DatasetSpec kSpecs[kNumDatasetProfiles] = {
+    // profile, name, metric, paper_rows, paper_dim,
+    // default_rows, default_dim, standin_mb,
+    // clusters, cluster_sd, noise_sd, intrinsic
+    {DatasetProfile::kGlove, "glove", Metric::kAngular, 1183514, 100,  //
+     4000, 48, 100.0, 32, 0.55, 0.10, 0},
+    {DatasetProfile::kKeywordMatch, "keyword-match", Metric::kAngular, 1000000,
+     100,  //
+     4000, 48, 85.0, 8, 0.95, 0.60, 0},
+    {DatasetProfile::kGeoRadius, "geo-radius", Metric::kAngular, 100000, 2048,
+     1500, 256, 140.0, 24, 0.30, 0.02, 3},
+    {DatasetProfile::kArxivTitles, "arxiv-titles", Metric::kAngular, 2100000,
+     768,  //
+     3000, 96, 110.0, 96, 0.45, 0.08, 0},
+    {DatasetProfile::kDeepImage, "deep-image", Metric::kAngular, 9990000, 96,
+     12000, 48, 1000.0, 96, 0.40, 0.06, 0},
+};
+
+/// Deterministic per-profile generator core. Queries use a shifted seed and
+/// a slightly widened spread so they are held out but in-distribution.
+FloatMatrix Generate(DatasetProfile profile, size_t rows, size_t dim,
+                     uint64_t seed, bool queries) {
+  const DatasetSpec& spec = GetDatasetSpec(profile);
+  assert(rows > 0 && dim > 0);
+  Rng rng(seed * 2654435761ULL + static_cast<uint64_t>(profile) * 97 +
+          (queries ? 0xABCDEF : 0));
+
+  FloatMatrix out(rows, dim);
+
+  if (spec.intrinsic_dim > 0) {
+    // Low intrinsic dimension manifold (Geo-radius): points are smooth
+    // random-Fourier functions of a low-dimensional latent coordinate,
+    // embedded in the high-dimensional ambient space.
+    const int latent_dim = spec.intrinsic_dim;
+    const size_t features = dim;
+    // Random Fourier feature frequencies/phases (shared across rows).
+    Rng feature_rng(seed ^ 0x5A5A5A5AULL);
+    std::vector<double> freq(features * latent_dim);
+    std::vector<double> phase(features);
+    for (auto& f : freq) f = feature_rng.Normal(0.0, 2.0);
+    for (auto& p : phase) p = feature_rng.Uniform(0.0, 6.2831853);
+
+    // Queries carry extra off-manifold noise (out-of-distribution probes are
+    // what make the high-dimensional Geo-radius dataset hard to index).
+    const double noise_sd =
+        spec.noise_stddev * (queries ? 6.0 : 1.0);
+    for (size_t i = 0; i < rows; ++i) {
+      double latent[8];
+      for (int l = 0; l < latent_dim; ++l) latent[l] = rng.Uniform(-1.0, 1.0);
+      float* row = out.Row(i);
+      for (size_t f = 0; f < features; ++f) {
+        double arg = phase[f];
+        for (int l = 0; l < latent_dim; ++l) {
+          arg += freq[f * latent_dim + l] * latent[l];
+        }
+        row[f] = static_cast<float>(std::cos(arg)) +
+                 static_cast<float>(rng.Normal(0.0, noise_sd));
+      }
+    }
+  } else if (spec.num_clusters > 0) {
+    // Gaussian mixture: cluster centers on the unit sphere, anisotropic
+    // within-cluster spread. Cluster sizes follow a Zipf-ish skew so some
+    // IVF cells are crowded (as in real embedding corpora).
+    const int k = spec.num_clusters;
+    Rng center_rng(seed ^ 0xC0FFEEULL);  // identical for data and queries
+    FloatMatrix centers(k, dim);
+    for (int c = 0; c < k; ++c) {
+      float* row = centers.Row(c);
+      for (size_t d = 0; d < dim; ++d) {
+        row[d] = static_cast<float>(center_rng.Normal());
+      }
+      NormalizeVector(row, dim);
+    }
+    // Per-cluster scale factors (axis-aligned anisotropy).
+    std::vector<double> cluster_scale(k);
+    for (int c = 0; c < k; ++c) {
+      cluster_scale[c] = spec.cluster_stddev * center_rng.Uniform(0.6, 1.5);
+    }
+    // Zipf weights.
+    std::vector<double> cum(k);
+    double total = 0.0;
+    for (int c = 0; c < k; ++c) {
+      total += 1.0 / std::sqrt(static_cast<double>(c + 1));
+      cum[c] = total;
+    }
+
+    const double spread_mult = queries ? 1.15 : 1.0;
+    // cluster_stddev is the *total* displacement norm relative to the unit
+    // centers, so divide by sqrt(dim) per coordinate — otherwise high
+    // dimensions wash the cluster structure out entirely.
+    const double dim_scale = 1.0 / std::sqrt(static_cast<double>(dim));
+    for (size_t i = 0; i < rows; ++i) {
+      const double u = rng.Uniform() * total;
+      int c = 0;
+      while (c + 1 < k && cum[c] < u) ++c;
+      const float* center = centers.Row(c);
+      float* row = out.Row(i);
+      const double sd = cluster_scale[c] * spread_mult * dim_scale;
+      const double noise_sd = spec.noise_stddev * dim_scale;
+      for (size_t d = 0; d < dim; ++d) {
+        row[d] = center[d] + static_cast<float>(rng.Normal(0.0, sd)) +
+                 static_cast<float>(rng.Normal(0.0, noise_sd));
+      }
+    }
+  } else {
+    // Unstructured: i.i.d. Gaussian (worst case for every ANNS index).
+    for (size_t i = 0; i < rows; ++i) {
+      float* row = out.Row(i);
+      for (size_t d = 0; d < dim; ++d) {
+        row[d] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+
+  if (spec.metric == Metric::kAngular) {
+    for (size_t i = 0; i < rows; ++i) NormalizeVector(out.Row(i), dim);
+  }
+  return out;
+}
+
+}  // namespace
+
+double DatasetSpec::PaperMb() const {
+  return static_cast<double>(paper_rows) * static_cast<double>(paper_dim) *
+         4.0 / (1024.0 * 1024.0);
+}
+
+const DatasetSpec& GetDatasetSpec(DatasetProfile profile) {
+  for (const auto& spec : kSpecs) {
+    if (spec.profile == profile) return spec;
+  }
+  return kSpecs[0];
+}
+
+const DatasetSpec* FindDatasetSpec(const std::string& name) {
+  for (const auto& spec : kSpecs) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+FloatMatrix GenerateDataset(DatasetProfile profile, size_t rows, size_t dim,
+                            uint64_t seed) {
+  return Generate(profile, rows, dim, seed, /*queries=*/false);
+}
+
+FloatMatrix GenerateQueries(DatasetProfile profile, size_t count, size_t dim,
+                            uint64_t seed) {
+  return Generate(profile, count, dim, seed, /*queries=*/true);
+}
+
+}  // namespace vdt

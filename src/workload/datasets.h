@@ -1,0 +1,68 @@
+// Synthetic stand-ins for the paper's evaluation datasets (Table III plus
+// ArXiv-titles from Table V and deep-image from §V-E). Generators match the
+// *statistical profile* that drives index-type ranking: cluster structure,
+// ambient/intrinsic dimension, and inter-dimension correlation.
+#ifndef VDTUNER_WORKLOAD_DATASETS_H_
+#define VDTUNER_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/float_matrix.h"
+#include "index/distance.h"
+
+namespace vdt {
+
+/// The evaluated dataset profiles.
+enum class DatasetProfile {
+  kGlove,         // 1.18M x 100, angular: clustered embedding space
+  kKeywordMatch,  // 1M x 100, angular: low inter-dimension correlation
+  kGeoRadius,     // 100k x 2048, angular: low intrinsic dimension manifold
+  kArxivTitles,   // 2.1M x 768, angular: hierarchically clustered text
+  kDeepImage,     // 10M x 96, angular: 10x GloVe scale (§V-E)
+};
+
+inline constexpr int kNumDatasetProfiles = 5;
+
+/// Static description of a profile plus its laptop-scale stand-in defaults.
+struct DatasetSpec {
+  DatasetProfile profile;
+  const char* name;
+  Metric metric;
+  // Paper-scale facts (drive the ScaleModel / memory projections).
+  size_t paper_rows;
+  size_t paper_dim;
+  // Stand-in defaults (overridable; scaled by VDT_SCALE in benches).
+  size_t default_rows;
+  size_t default_dim;
+  /// Effective layout MB of the stand-in (ScaleModel::dataset_mb): chosen so
+  /// default system parameters produce Milvus-realistic segment counts.
+  double standin_mb;
+  // Generator shape.
+  int num_clusters;       // 0 = unclustered
+  double cluster_stddev;  // within-cluster spread (relative)
+  double noise_stddev;    // isotropic noise floor
+  int intrinsic_dim;      // latent manifold dimension (0 = full rank)
+
+  /// MB of the full paper-scale dataset (rows * dim * 4 bytes).
+  double PaperMb() const;
+};
+
+/// Spec lookup by profile.
+const DatasetSpec& GetDatasetSpec(DatasetProfile profile);
+
+/// Spec lookup by name ("glove", "keyword-match", ...); nullptr when absent.
+const DatasetSpec* FindDatasetSpec(const std::string& name);
+
+/// Generates `rows` base vectors of dimension `dim` for `profile`
+/// (L2-normalized for angular metrics). Deterministic given the seed.
+FloatMatrix GenerateDataset(DatasetProfile profile, size_t rows, size_t dim,
+                            uint64_t seed);
+
+/// Generates `count` held-out query vectors from the same distribution.
+FloatMatrix GenerateQueries(DatasetProfile profile, size_t count, size_t dim,
+                            uint64_t seed);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_WORKLOAD_DATASETS_H_

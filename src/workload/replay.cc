@@ -1,0 +1,74 @@
+#include "workload/replay.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace vdt {
+
+ReplayResult ReplayWorkload(const Collection& collection,
+                            const Workload& workload,
+                            const ReplayOptions& options) {
+  ReplayResult result;
+  const size_t nq = workload.queries.rows();
+  if (nq == 0) {
+    result.failed = true;
+    result.fail_reason = "empty workload";
+    return result;
+  }
+
+  const CollectionStats stats = collection.Stats();
+  const SystemConfig& system = collection.options().system;
+
+  double recall_sum = 0.0;
+  WorkCounters total;
+
+  if (options.mode == ReplayMode::kMeasured) {
+    // Wall-clock replay with `concurrency` workers pulling from a shared
+    // queue (the vector-db-benchmark client model).
+    std::atomic<size_t> next{0};
+    std::mutex agg_mu;
+    Stopwatch timer;
+    ThreadPool pool(static_cast<size_t>(std::max(1, workload.concurrency)));
+    pool.ParallelFor(nq, [&](size_t q) {
+      WorkCounters local;
+      auto hits = collection.Search(workload.queries.Row(q), workload.k, &local);
+      const double r = RecallAtK(hits, workload.ground_truth[q]);
+      std::lock_guard<std::mutex> lock(agg_mu);
+      recall_sum += r;
+      total.Add(local);
+    });
+    (void)next;
+    const double wall = timer.ElapsedSeconds();
+    result.qps = static_cast<double>(nq) / std::max(1e-9, wall);
+    result.replay_seconds = wall;
+  } else {
+    // Deterministic pass: count work, derive QPS from the machine model.
+    for (size_t q = 0; q < nq; ++q) {
+      WorkCounters local;
+      auto hits = collection.Search(workload.queries.Row(q), workload.k, &local);
+      recall_sum += RecallAtK(hits, workload.ground_truth[q]);
+      total.Add(local);
+    }
+    result.qps = ComputeQps(options.cost, total, nq, collection.dim(), stats,
+                            system, workload.concurrency);
+    result.replay_seconds =
+        options.cost.virtual_queries / std::max(1e-9, result.qps);
+  }
+
+  result.recall = recall_sum / static_cast<double>(nq);
+  result.work = total;
+  result.memory = ComputeMemory(stats, system);
+  result.memory_gib = result.memory.TotalGib();
+
+  if (options.enforce_timeout && options.mode == ReplayMode::kCostModel &&
+      result.qps < options.cost.min_qps) {
+    result.failed = true;
+    result.fail_reason = "replay timeout: qps below floor";
+  }
+  return result;
+}
+
+}  // namespace vdt

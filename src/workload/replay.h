@@ -1,0 +1,48 @@
+// Workload replay: runs every query of a Workload against a Collection and
+// reports QPS, recall, and memory. Two modes:
+//  - kCostModel (default): QPS derived deterministically from counted work.
+//  - kMeasured: wall-clock QPS with `concurrency` worker threads.
+#ifndef VDTUNER_WORKLOAD_REPLAY_H_
+#define VDTUNER_WORKLOAD_REPLAY_H_
+
+#include <string>
+
+#include "vdms/collection.h"
+#include "vdms/memory_model.h"
+#include "workload/cost_model.h"
+#include "workload/workload.h"
+
+namespace vdt {
+
+enum class ReplayMode { kCostModel, kMeasured };
+
+struct ReplayOptions {
+  ReplayMode mode = ReplayMode::kCostModel;
+  CostModelParams cost;
+  /// Declare the configuration failed when QPS falls below cost.min_qps
+  /// (mirrors the paper's 15-minute replay cap).
+  bool enforce_timeout = true;
+};
+
+/// Outcome of replaying one workload against one collection configuration.
+struct ReplayResult {
+  bool failed = false;
+  std::string fail_reason;
+
+  double qps = 0.0;
+  double recall = 0.0;       // mean recall@k over queries
+  MemoryBreakdown memory;    // paper-scale memory projection
+  double memory_gib = 0.0;
+
+  WorkCounters work;         // aggregate over all queries
+  double replay_seconds = 0.0;  // simulated replay duration
+};
+
+/// Replays `workload` against `collection`. The collection must be flushed.
+ReplayResult ReplayWorkload(const Collection& collection,
+                            const Workload& workload,
+                            const ReplayOptions& options);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_WORKLOAD_REPLAY_H_

@@ -1,0 +1,50 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+
+namespace vdt {
+
+std::vector<std::vector<int64_t>> BuildGroundTruth(const FloatMatrix& data,
+                                                   Metric metric,
+                                                   const FloatMatrix& queries,
+                                                   size_t k,
+                                                   int num_threads) {
+  std::vector<std::vector<int64_t>> truth(queries.rows());
+  ThreadPool pool(static_cast<size_t>(std::max(1, num_threads)));
+  pool.ParallelFor(queries.rows(), [&](size_t q) {
+    auto hits = BruteForceSearch(data, metric, queries.Row(q), k, nullptr);
+    truth[q].reserve(hits.size());
+    for (const Neighbor& n : hits) truth[q].push_back(n.id);
+  });
+  return truth;
+}
+
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<int64_t>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<int64_t> expected(truth.begin(), truth.end());
+  size_t hit = 0;
+  for (const Neighbor& n : result) {
+    if (expected.count(n.id) > 0) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+Workload MakeWorkload(DatasetProfile profile, const FloatMatrix& data,
+                      size_t num_queries, size_t k, uint64_t seed,
+                      int concurrency) {
+  const DatasetSpec& spec = GetDatasetSpec(profile);
+  Workload w;
+  w.profile = profile;
+  w.k = k;
+  w.concurrency = concurrency;
+  w.queries = GenerateQueries(profile, num_queries, data.dim(), seed);
+  w.ground_truth =
+      BuildGroundTruth(data, spec.metric, w.queries, k, /*num_threads=*/2);
+  return w;
+}
+
+}  // namespace vdt

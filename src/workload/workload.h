@@ -1,0 +1,45 @@
+// A similarity-search workload: a fixed batch of queries with exact ground
+// truth (paper §V-A: top-100 queries, concurrency 10, recall measured
+// against correct results).
+#ifndef VDTUNER_WORKLOAD_WORKLOAD_H_
+#define VDTUNER_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/float_matrix.h"
+#include "index/index.h"
+#include "workload/datasets.h"
+
+namespace vdt {
+
+/// A replayable batch of top-k queries plus their exact answers.
+struct Workload {
+  DatasetProfile profile = DatasetProfile::kGlove;
+  FloatMatrix queries;
+  size_t k = 10;          // neighbors requested (paper uses 100 at full scale)
+  int concurrency = 10;   // concurrent search requests (paper default)
+  /// ground_truth[q] = exact top-k row ids for query q, distance-ascending.
+  std::vector<std::vector<int64_t>> ground_truth;
+};
+
+/// Exact top-k ids for every query by (optionally parallel) brute force.
+std::vector<std::vector<int64_t>> BuildGroundTruth(const FloatMatrix& data,
+                                                   Metric metric,
+                                                   const FloatMatrix& queries,
+                                                   size_t k,
+                                                   int num_threads = 2);
+
+/// recall@k of `result` against `truth`: |result ∩ truth| / |truth|.
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<int64_t>& truth);
+
+/// Convenience builder: generates queries for `profile` matching `data`,
+/// computes ground truth, and assembles a Workload.
+Workload MakeWorkload(DatasetProfile profile, const FloatMatrix& data,
+                      size_t num_queries, size_t k, uint64_t seed,
+                      int concurrency = 10);
+
+}  // namespace vdt
+
+#endif  // VDTUNER_WORKLOAD_WORKLOAD_H_

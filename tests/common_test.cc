@@ -1,0 +1,230 @@
+// Unit tests for src/common: Status/Result, Rng, ThreadPool, TablePrinter,
+// env helpers, FloatMatrix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "common/env.h"
+#include "common/float_matrix.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace vdt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad nlist");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad nlist");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad nlist");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kNotSupported); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return Status::Timeout("slow"); };
+  auto wrapper = [&]() -> Status {
+    VDT_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kTimeout);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(13);
+  auto idx = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(idx.size(), 20u);
+  std::set<size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t i : idx) EXPECT_LT(i, 50u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.Fork();
+  // The child stream should not replicate the parent's continuation.
+  Rng a2(21);
+  a2.Fork();
+  int same = 0;
+  for (int i = 0; i < 32; ++i) same += (child.Next64() == a2.Next64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIsReentrant) {
+  ThreadPool pool(2);
+  pool.Wait();  // no tasks: returns immediately
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(StopwatchTest, MeasuresForward) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds());  // later read, scaled
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.Row().Cell("alpha").Cell(3.14159, 2);
+  t.Row().Cell("b").Cell(int64_t{42});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDoubleFixedPrecision) {
+  EXPECT_EQ(FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(EnvTest, FallbacksWhenUnset) {
+  unsetenv("VDT_TEST_UNSET_XYZ");
+  EXPECT_EQ(EnvInt("VDT_TEST_UNSET_XYZ", 5), 5);
+  EXPECT_DOUBLE_EQ(EnvDouble("VDT_TEST_UNSET_XYZ", 2.5), 2.5);
+  EXPECT_EQ(EnvString("VDT_TEST_UNSET_XYZ", "d"), "d");
+}
+
+TEST(EnvTest, ParsesValues) {
+  setenv("VDT_TEST_SET_XYZ", "17", 1);
+  EXPECT_EQ(EnvInt("VDT_TEST_SET_XYZ", 5), 17);
+  setenv("VDT_TEST_SET_XYZ", "1.75", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("VDT_TEST_SET_XYZ", 0.0), 1.75);
+  unsetenv("VDT_TEST_SET_XYZ");
+}
+
+TEST(FloatMatrixTest, AppendAndSlice) {
+  FloatMatrix m;
+  const float r0[] = {1.f, 2.f};
+  const float r1[] = {3.f, 4.f};
+  m.AppendRow(r0, 2);
+  m.AppendRow(r1, 2);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.dim(), 2u);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 3.f);
+  FloatMatrix s = m.Slice(1, 2);
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_FLOAT_EQ(s.At(0, 1), 4.f);
+}
+
+TEST(FloatMatrixTest, MemoryBytes) {
+  FloatMatrix m(10, 4);
+  EXPECT_EQ(m.MemoryBytes(), 10u * 4u * sizeof(float));
+}
+
+}  // namespace
+}  // namespace vdt

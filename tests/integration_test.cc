@@ -1,0 +1,174 @@
+// End-to-end integration tests: the full stack (dataset -> VDMS -> evaluator
+// -> tuners) on small workloads, exercising exactly the paths the benchmark
+// harness uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "tuner/qehvi_tuner.h"
+#include "tuner/random_tuner.h"
+#include "tuner/vdtuner.h"
+#include "workload/replay.h"
+
+namespace vdt {
+namespace {
+
+struct Fixture {
+  FloatMatrix data;
+  Workload workload;
+  std::unique_ptr<VdmsEvaluator> evaluator;
+  ParamSpace space;
+
+  explicit Fixture(DatasetProfile profile = DatasetProfile::kGlove,
+                   size_t rows = 900, size_t dim = 24, size_t nq = 10) {
+    data = GenerateDataset(profile, rows, dim, 42);
+    workload = MakeWorkload(profile, data, nq, 10, 42);
+    VdmsEvaluatorOptions opts;
+    opts.profile = profile;
+    opts.seed = 42;
+    evaluator = std::make_unique<VdmsEvaluator>(&data, &workload, opts);
+  }
+};
+
+TEST(EvaluatorIntegrationTest, DefaultConfigsEvaluateCleanly) {
+  Fixture fx;
+  for (int t = 0; t < kNumIndexTypes; ++t) {
+    const TuningConfig config =
+        fx.space.DefaultConfig(static_cast<IndexType>(t));
+    const EvalOutcome out = fx.evaluator->Evaluate(config);
+    EXPECT_FALSE(out.failed)
+        << IndexTypeName(static_cast<IndexType>(t)) << ": " << out.fail_reason;
+    EXPECT_GT(out.qps, 0.0);
+    EXPECT_GT(out.recall, 0.2);
+    EXPECT_LE(out.recall, 1.0 + 1e-9);
+    EXPECT_GT(out.memory_gib, 0.0);
+    EXPECT_GT(out.eval_seconds, 0.0);
+  }
+}
+
+TEST(EvaluatorIntegrationTest, InfeasiblePqFails) {
+  Fixture fx;  // dim 24
+  TuningConfig config = fx.space.DefaultConfig(IndexType::kIvfPq);
+  config.index.m = 7;  // 24 % 7 != 0
+  config.system.build_index_threshold = 32;
+  const EvalOutcome out = fx.evaluator->Evaluate(config);
+  EXPECT_TRUE(out.failed);
+}
+
+TEST(EvaluatorIntegrationTest, CacheHitsOnSearchOnlyChanges) {
+  Fixture fx;
+  TuningConfig config = fx.space.DefaultConfig(IndexType::kIvfFlat);
+  config.system.build_index_threshold = 32;
+  fx.evaluator->Evaluate(config);
+  const size_t misses_before = fx.evaluator->cache_misses();
+  config.index.nprobe = 64;  // search-time knob only
+  const EvalOutcome out = fx.evaluator->Evaluate(config);
+  EXPECT_FALSE(out.failed);
+  EXPECT_EQ(fx.evaluator->cache_misses(), misses_before);
+  EXPECT_GE(fx.evaluator->cache_hits(), 1u);
+}
+
+TEST(EvaluatorIntegrationTest, CachedResultsMatchFreshResults) {
+  Fixture fx;
+  TuningConfig config = fx.space.DefaultConfig(IndexType::kIvfFlat);
+  config.system.build_index_threshold = 32;
+  const EvalOutcome first = fx.evaluator->Evaluate(config);
+  const EvalOutcome cached = fx.evaluator->Evaluate(config);
+  EXPECT_DOUBLE_EQ(first.qps, cached.qps);
+  EXPECT_DOUBLE_EQ(first.recall, cached.recall);
+
+  // A fresh evaluator (no cache) must agree too.
+  VdmsEvaluatorOptions opts;
+  opts.profile = DatasetProfile::kGlove;
+  opts.seed = 42;
+  opts.cache_capacity = 0;
+  VdmsEvaluator fresh(&fx.data, &fx.workload, opts);
+  const EvalOutcome f = fresh.Evaluate(config);
+  EXPECT_DOUBLE_EQ(first.qps, f.qps);
+  EXPECT_DOUBLE_EQ(first.recall, f.recall);
+}
+
+TEST(EvaluatorIntegrationTest, NprobeDrivesSpeedRecallTradeoff) {
+  Fixture fx;
+  TuningConfig config = fx.space.DefaultConfig(IndexType::kIvfFlat);
+  config.index.nlist = 64;
+  config.system.build_index_threshold = 32;
+
+  config.index.nprobe = 1;
+  const EvalOutcome fast = fx.evaluator->Evaluate(config);
+  config.index.nprobe = 64;
+  const EvalOutcome accurate = fx.evaluator->Evaluate(config);
+  EXPECT_GT(fast.qps, accurate.qps);
+  EXPECT_GT(accurate.recall, fast.recall);
+}
+
+TEST(TuningIntegrationTest, ShortVdtunerRunBeatsDefault) {
+  Fixture fx;
+  // Default performance (AUTOINDEX, stock system parameters).
+  const EvalOutcome def =
+      fx.evaluator->Evaluate(fx.space.DefaultConfig(IndexType::kAutoIndex));
+
+  TunerOptions topts;
+  topts.seed = 42;
+  VdtunerOptions vd;
+  vd.candidate_pool = 32;
+  VdTuner tuner(&fx.space, fx.evaluator.get(), topts, vd);
+  tuner.Run(18);
+
+  // Tuning should find something at least as fast as default without giving
+  // up recall below default (Table IV's improvement definition).
+  double best = 0.0;
+  for (const auto& obs : tuner.history()) {
+    if (!obs.failed && obs.recall >= def.recall - 0.02) {
+      best = std::max(best, obs.qps);
+    }
+  }
+  EXPECT_GE(best, def.qps * 0.95);
+}
+
+TEST(TuningIntegrationTest, FullRunsAreDeterministic) {
+  auto run = [] {
+    Fixture fx;
+    TunerOptions topts;
+    topts.seed = 7;
+    VdtunerOptions vd;
+    vd.candidate_pool = 24;
+    VdTuner tuner(&fx.space, fx.evaluator.get(), topts, vd);
+    tuner.Run(14);
+    std::vector<double> qps;
+    for (const auto& obs : tuner.history()) qps.push_back(obs.qps);
+    return qps;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(TuningIntegrationTest, QehviSharesEvaluatorContract) {
+  Fixture fx;
+  TunerOptions topts;
+  topts.seed = 11;
+  topts.init_samples = 6;
+  QehviTuner tuner(&fx.space, fx.evaluator.get(), topts, 32);
+  tuner.Run(10);
+  EXPECT_EQ(tuner.history().size(), 10u);
+  int ok = 0;
+  for (const auto& obs : tuner.history()) ok += obs.failed ? 0 : 1;
+  EXPECT_GE(ok, 5);
+}
+
+TEST(TuningIntegrationTest, GeoRadiusProfileWorksEndToEnd) {
+  Fixture fx(DatasetProfile::kGeoRadius, 600, 64, 8);
+  TunerOptions topts;
+  topts.seed = 13;
+  RandomTuner tuner(&fx.space, fx.evaluator.get(), topts);
+  tuner.Run(8);
+  int ok = 0;
+  for (const auto& obs : tuner.history()) ok += obs.failed ? 0 : 1;
+  EXPECT_GE(ok, 4);  // most random configs are feasible
+}
+
+}  // namespace
+}  // namespace vdt

@@ -1,0 +1,149 @@
+// Tests for knowledge-base persistence: round-trips, error paths, and the
+// save -> load -> bootstrap pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "tuner/knowledge_base.h"
+#include "tuner/random_tuner.h"
+
+namespace vdt {
+namespace {
+
+/// Deterministic synthetic evaluator for generating histories.
+class TinyEvaluator : public Evaluator {
+ public:
+  EvalOutcome Evaluate(const TuningConfig& config) override {
+    EvalOutcome out;
+    out.qps = 1000.0 + 10.0 * config.index.nprobe;
+    out.recall = 0.5 + 0.4 * (config.index.nprobe / 256.0);
+    out.memory_gib = 2.5;
+    out.eval_seconds = 60.0;
+    if (config.index_type == IndexType::kIvfPq && config.index.m == 63) {
+      out.failed = true;
+      out.fail_reason = "synthetic";
+    }
+    return out;
+  }
+};
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<Observation> MakeHistory(int n, uint64_t seed) {
+  ParamSpace space;
+  TinyEvaluator eval;
+  TunerOptions opts;
+  opts.seed = seed;
+  RandomTuner tuner(&space, &eval, opts);
+  tuner.Run(n);
+  return tuner.history();
+}
+
+TEST(KnowledgeBaseTest, ObservationLineRoundTrip) {
+  ParamSpace space;
+  const auto history = MakeHistory(5, 1);
+  for (const Observation& obs : history) {
+    const std::string line = SerializeObservation(obs, space);
+    const Result<Observation> back = ParseObservation(line, space);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->iteration, obs.iteration);
+    EXPECT_EQ(back->failed, obs.failed);
+    EXPECT_DOUBLE_EQ(back->qps, obs.qps);
+    EXPECT_DOUBLE_EQ(back->recall, obs.recall);
+    EXPECT_DOUBLE_EQ(back->primary, obs.primary);
+    EXPECT_DOUBLE_EQ(back->cum_tuning_seconds, obs.cum_tuning_seconds);
+    ASSERT_EQ(back->x.size(), obs.x.size());
+    for (size_t d = 0; d < obs.x.size(); ++d) {
+      EXPECT_DOUBLE_EQ(back->x[d], obs.x[d]) << "dim " << d;
+    }
+    EXPECT_EQ(back->config.index_type, obs.config.index_type);
+  }
+}
+
+TEST(KnowledgeBaseTest, FileRoundTrip) {
+  ParamSpace space;
+  const auto history = MakeHistory(12, 2);
+  const std::string path = TempPath("kb_roundtrip.tsv");
+  ASSERT_TRUE(SaveKnowledgeBase(path, history, space).ok());
+  const auto loaded = LoadKnowledgeBase(path, space);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*loaded)[i].qps, history[i].qps);
+    EXPECT_EQ((*loaded)[i].config.index_type, history[i].config.index_type);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeBaseTest, MissingFileIsNotFound) {
+  ParamSpace space;
+  const auto loaded = LoadKnowledgeBase(TempPath("does_not_exist.tsv"), space);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(KnowledgeBaseTest, BadHeaderRejected) {
+  ParamSpace space;
+  const std::string path = TempPath("kb_bad_header.tsv");
+  {
+    std::ofstream out(path);
+    out << "not-a-knowledge-base\n";
+  }
+  const auto loaded = LoadKnowledgeBase(path, space);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeBaseTest, MalformedLineRejectedWithLineNumber) {
+  ParamSpace space;
+  const std::string path = TempPath("kb_bad_line.tsv");
+  {
+    std::ofstream out(path);
+    out << "vdtuner-knowledge-base-v1\n";
+    out << "this is not an observation\n";
+  }
+  const auto loaded = LoadKnowledgeBase(path, space);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeBaseTest, LoadedHistoryBootstrapsTuner) {
+  ParamSpace space;
+  const auto history = MakeHistory(10, 3);
+  const std::string path = TempPath("kb_bootstrap.tsv");
+  ASSERT_TRUE(SaveKnowledgeBase(path, history, space).ok());
+  const auto loaded = LoadKnowledgeBase(path, space);
+  ASSERT_TRUE(loaded.ok());
+
+  TinyEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 4;
+  RandomTuner tuner(&space, &eval, opts);
+  tuner.Bootstrap(*loaded);
+  tuner.Run(3);
+  EXPECT_EQ(tuner.history().size(), 3u);  // prior not counted as iterations
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeBaseTest, FailedObservationsSurviveRoundTrip) {
+  ParamSpace space;
+  Observation obs;
+  obs.iteration = 7;
+  obs.failed = true;
+  obs.config = space.DefaultConfig(IndexType::kIvfPq);
+  obs.x = space.Encode(obs.config);
+  obs.primary = 12.5;
+  const std::string line = SerializeObservation(obs, space);
+  const auto back = ParseObservation(line, space);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->failed);
+  EXPECT_DOUBLE_EQ(back->primary, 12.5);
+}
+
+}  // namespace
+}  // namespace vdt

@@ -1,0 +1,145 @@
+// Unit and property tests for src/linalg: Matrix ops, Cholesky, solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+
+namespace vdt {
+namespace {
+
+Matrix RandomSpd(size_t n, uint64_t seed, double diag_boost = 0.5) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.Normal();
+  }
+  // A A^T + boost I is SPD.
+  Matrix spd = a.Multiply(a.Transpose());
+  for (size_t i = 0; i < n; ++i) spd(i, i) += diag_boost;
+  return spd;
+}
+
+TEST(MatrixTest, IdentityMultiply) {
+  Matrix i = Matrix::Identity(3);
+  Matrix a(3, 3);
+  int v = 1;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  }
+  Matrix prod = i.Multiply(a);
+  EXPECT_NEAR(prod.FrobeniusDistance(a), 0.0, 1e-12);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(3);
+  Matrix a(4, 6);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 6; ++c) a(r, c) = rng.Normal();
+  }
+  EXPECT_NEAR(a.Transpose().Transpose().FrobeniusDistance(a), 0.0, 1e-12);
+}
+
+TEST(MatrixTest, MultiplyVecMatchesMultiply) {
+  Rng rng(5);
+  Matrix a(5, 4);
+  std::vector<double> v(4);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 4; ++c) a(r, c) = rng.Normal();
+  }
+  for (auto& x : v) x = rng.Normal();
+  Matrix vm(4, 1);
+  for (size_t i = 0; i < 4; ++i) vm(i, 0) = v[i];
+  const Matrix prod = a.Multiply(vm);
+  const std::vector<double> got = a.MultiplyVec(v);
+  for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(got[i], prod(i, 0), 1e-12);
+}
+
+TEST(CholeskyTest, ReconstructsMatrix) {
+  const Matrix a = RandomSpd(8, 11);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  const Matrix rebuilt = l->Multiply(l->Transpose());
+  EXPECT_LT(rebuilt.FrobeniusDistance(a), 1e-8);
+}
+
+TEST(CholeskyTest, FailsOnIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 4.0;  // eigenvalues 5, -3
+  a(1, 1) = 1.0;
+  auto l = CholeskyFactor(a);
+  EXPECT_FALSE(l.ok());
+  EXPECT_EQ(l.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, JitterRescuesSemidefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 1.0;
+  a(1, 1) = 1.0;  // rank 1, PSD
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+  EXPECT_TRUE(CholeskyFactor(a, 1e-8).ok());
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  const Matrix a = RandomSpd(10, 13);
+  Rng rng(17);
+  std::vector<double> x_true(10);
+  for (auto& v : x_true) v = rng.Normal();
+  const std::vector<double> b = a.MultiplyVec(x_true);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  const std::vector<double> x = CholeskySolve(*l, b);
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST(CholeskyTest, LogDetMatchesKnownValue) {
+  // diag(4, 9) -> det = 36, logdet = log(36).
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(1, 1) = 9.0;
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(CholeskyLogDet(*l), std::log(36.0), 1e-12);
+}
+
+TEST(SolveTest, ForwardBackwardAreInverses) {
+  const Matrix a = RandomSpd(6, 19);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Rng rng(23);
+  std::vector<double> b(6);
+  for (auto& v : b) v = rng.Normal();
+  const auto y = ForwardSolve(*l, b);
+  // L y should reproduce b.
+  const auto b2 = l->MultiplyVec(y);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(b2[i], b[i], 1e-9);
+  const auto x = BackwardSolve(*l, y);
+  const auto y2 = l->Transpose().MultiplyVec(x);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(y2[i], y[i], 1e-9);
+}
+
+TEST(DotTest, BasicIdentity) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+// Property sweep: Cholesky round-trip across sizes.
+class CholeskySizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskySizeTest, RoundTripAcrossSizes) {
+  const int n = GetParam();
+  const Matrix a = RandomSpd(n, 100 + n);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_LT(l->Multiply(l->Transpose()).FrobeniusDistance(a),
+            1e-7 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace vdt

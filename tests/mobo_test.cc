@@ -1,0 +1,216 @@
+// Tests for src/mobo: Pareto utilities, hypervolume, EHVI estimators,
+// acquisition functions, Gauss-Hermite quadrature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "mobo/acquisition.h"
+#include "mobo/ehvi.h"
+#include "mobo/hypervolume.h"
+#include "mobo/pareto.h"
+#include "mobo/quadrature.h"
+
+namespace vdt {
+namespace {
+
+TEST(ParetoTest, DominationBasics) {
+  EXPECT_TRUE(Dominates({2, 2}, {1, 1}));
+  EXPECT_TRUE(Dominates({2, 1}, {1, 1}));
+  EXPECT_FALSE(Dominates({1, 1}, {1, 1}));  // equal: no strict improvement
+  EXPECT_FALSE(Dominates({2, 0}, {1, 1}));
+  EXPECT_FALSE(Dominates({0, 2}, {1, 1}));
+}
+
+TEST(ParetoTest, NonDominatedFiltering) {
+  std::vector<Point2> pts = {{1, 5}, {3, 3}, {5, 1}, {2, 2}, {0, 0}};
+  auto idx = NonDominatedIndices(pts);
+  EXPECT_EQ(idx, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ParetoTest, DuplicatePointsAllKept) {
+  std::vector<Point2> pts = {{1, 1}, {1, 1}};
+  EXPECT_EQ(NonDominatedIndices(pts).size(), 2u);
+}
+
+TEST(ParetoTest, RanksPeelLayers) {
+  std::vector<Point2> pts = {{3, 3}, {2, 2}, {1, 1}};
+  const auto ranks = ParetoRanks(pts);
+  EXPECT_EQ(ranks, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParetoTest, FrontOfEmptySetIsEmpty) {
+  EXPECT_TRUE(ParetoFront({}).empty());
+}
+
+TEST(HypervolumeTest, SinglePointRectangle) {
+  EXPECT_DOUBLE_EQ(Hypervolume2D({{3, 2}}, {0, 0}), 6.0);
+}
+
+TEST(HypervolumeTest, UnionOfTwoPoints) {
+  EXPECT_DOUBLE_EQ(Hypervolume2D({{3, 1}, {2, 2}}, {0, 0}), 5.0);
+}
+
+TEST(HypervolumeTest, DominatedPointAddsNothing) {
+  const double base = Hypervolume2D({{3, 3}}, {0, 0});
+  EXPECT_DOUBLE_EQ(Hypervolume2D({{3, 3}, {1, 1}}, {0, 0}), base);
+}
+
+TEST(HypervolumeTest, PointsBelowReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(Hypervolume2D({{-1, 5}, {5, -1}}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Hypervolume2D({{2, 2}, {-1, 5}}, {1, 1}), 1.0);
+}
+
+TEST(HypervolumeTest, ImprovementMatchesDefinition) {
+  std::vector<Point2> front = {{3, 1}, {1, 3}};
+  const Point2 y = {2, 2};
+  const double hvi = HypervolumeImprovement2D(y, front, {0, 0});
+  const double direct =
+      Hypervolume2D({{3, 1}, {1, 3}, {2, 2}}, {0, 0}) -
+      Hypervolume2D(front, {0, 0});
+  EXPECT_NEAR(hvi, direct, 1e-12);
+  EXPECT_NEAR(hvi, 1.0, 1e-12);  // the new unit square corner at (2,2)
+}
+
+TEST(QuadratureTest, GaussHermiteIntegratesPolynomials) {
+  // E[X^2] = 1 and E[X^4] = 3 for standard normal.
+  const double m2 =
+      GaussianExpectation(0.0, 1.0, 16, [](double x) { return x * x; });
+  const double m4 = GaussianExpectation(0.0, 1.0, 16,
+                                        [](double x) { return x * x * x * x; });
+  EXPECT_NEAR(m2, 1.0, 1e-10);
+  EXPECT_NEAR(m4, 3.0, 1e-8);
+}
+
+TEST(QuadratureTest, ShiftedScaledMoments) {
+  const double mean =
+      GaussianExpectation(2.0, 3.0, 16, [](double x) { return x; });
+  const double var = GaussianExpectation(
+      2.0, 3.0, 16, [](double x) { return (x - 2.0) * (x - 2.0); });
+  EXPECT_NEAR(mean, 2.0, 1e-10);
+  EXPECT_NEAR(var, 9.0, 1e-8);
+}
+
+TEST(QuadratureTest, WeightsSumToSqrtPi) {
+  const auto& rule = GaussHermite(20);
+  double sum = 0.0;
+  for (double w : rule.weights) sum += w;
+  EXPECT_NEAR(sum, std::sqrt(M_PI), 1e-10);
+}
+
+TEST(AcquisitionTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(AcquisitionTest, EiPositiveAndMonotoneInMean) {
+  const double ei_low = ExpectedImprovement(0.5, 0.1, 1.0);
+  const double ei_high = ExpectedImprovement(1.5, 0.1, 1.0);
+  EXPECT_GE(ei_low, 0.0);
+  EXPECT_GT(ei_high, ei_low);
+  EXPECT_NEAR(ei_high, 0.5, 1e-3);  // nearly deterministic improvement
+}
+
+TEST(AcquisitionTest, EiDegeneratesAtZeroStddev) {
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(2.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(0.5, 0.0, 1.0), 0.0);
+}
+
+TEST(AcquisitionTest, ConstrainedEiGatesOnProbability) {
+  // Same speed belief; infeasible recall belief kills the acquisition.
+  const double feasible = ConstrainedExpectedImprovement(
+      2.0, 0.1, 1.0, /*recall*/ 0.95, 0.01, /*floor*/ 0.9);
+  const double infeasible = ConstrainedExpectedImprovement(
+      2.0, 0.1, 1.0, /*recall*/ 0.5, 0.01, /*floor*/ 0.9);
+  EXPECT_GT(feasible, 100.0 * infeasible);
+}
+
+TEST(EhviTest, ZeroWhenDeterministicallyDominated) {
+  std::vector<Point2> front = {{1.0, 1.0}};
+  BivariateGaussian belief{0.5, 1e-9, 0.5, 1e-9};
+  EXPECT_NEAR(EhviQuadrature(belief, front, {0, 0}), 0.0, 1e-9);
+}
+
+TEST(EhviTest, MatchesDeterministicHviAtTinyVariance) {
+  std::vector<Point2> front = {{3, 1}, {1, 3}};
+  BivariateGaussian belief{2.0, 1e-9, 2.0, 1e-9};
+  EXPECT_NEAR(EhviQuadrature(belief, front, {0, 0}), 1.0, 1e-6);
+}
+
+TEST(EhviTest, QuadratureAgreesWithMonteCarlo) {
+  std::vector<Point2> front = {{2.5, 0.5}, {1.5, 1.5}, {0.5, 2.5}};
+  BivariateGaussian belief{1.8, 0.6, 1.8, 0.6};
+  const double quad = EhviQuadrature(belief, front, {0, 0}, 24);
+  Rng rng(31);
+  const double mc = EhviMonteCarlo(belief, front, {0, 0}, 200000, &rng);
+  EXPECT_NEAR(quad, mc, 0.02 * std::max(1.0, quad));
+}
+
+TEST(EhviTest, EmptyFrontEqualsExpectedRectangle) {
+  // With no incumbents, EHVI = E[(Y0-r0)+ * (Y1-r1)+] for independent
+  // normals; at 6 sigma above the reference that's ~ mean0*mean1.
+  BivariateGaussian belief{3.0, 0.5, 2.0, 0.3};
+  const double ehvi = EhviQuadrature(belief, {}, {0, 0}, 32);
+  EXPECT_NEAR(ehvi, 6.0, 0.05);
+}
+
+TEST(EhviTest, HigherMeanGivesHigherEhvi) {
+  std::vector<Point2> front = {{2, 2}};
+  BivariateGaussian weak{1.5, 0.4, 1.5, 0.4};
+  BivariateGaussian strong{2.5, 0.4, 2.5, 0.4};
+  EXPECT_GT(EhviQuadrature(strong, front, {0, 0}),
+            EhviQuadrature(weak, front, {0, 0}));
+}
+
+TEST(EhviTest, UncertaintyHasValueWhenMeanIsDominated) {
+  // A dominated mean with large variance still has positive EHVI.
+  std::vector<Point2> front = {{2, 2}};
+  BivariateGaussian belief{1.5, 0.8, 1.5, 0.8};
+  EXPECT_GT(EhviQuadrature(belief, front, {0, 0}), 0.01);
+}
+
+// Property sweep: quadrature EHVI equals brute-force HVI expectation over a
+// dense grid, across several fronts.
+struct EhviCase {
+  std::vector<Point2> front;
+  BivariateGaussian belief;
+};
+
+class EhviPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EhviPropertyTest, QuadratureMatchesBruteForceGrid) {
+  Rng rng(1000 + GetParam());
+  std::vector<Point2> raw;
+  const int npts = 1 + GetParam() % 5;
+  for (int i = 0; i < npts; ++i) {
+    raw.push_back({rng.Uniform(0.5, 3.0), rng.Uniform(0.5, 3.0)});
+  }
+  const std::vector<Point2> front = ParetoFront(raw);
+  BivariateGaussian belief{rng.Uniform(0.5, 3.0), rng.Uniform(0.2, 0.8),
+                           rng.Uniform(0.5, 3.0), rng.Uniform(0.2, 0.8)};
+  const Point2 ref = {0, 0};
+
+  const double quad = EhviQuadrature(belief, front, ref, 32);
+
+  // Brute force: Riemann sum over +-5 sigma.
+  double acc = 0.0;
+  const int grid = 160;
+  for (int i = 0; i < grid; ++i) {
+    const double z0 = -5.0 + 10.0 * (i + 0.5) / grid;
+    const double y0 = belief.mean0 + belief.stddev0 * z0;
+    const double w0 = NormalPdf(z0) * 10.0 / grid;
+    for (int j = 0; j < grid; ++j) {
+      const double z1 = -5.0 + 10.0 * (j + 0.5) / grid;
+      const double y1 = belief.mean1 + belief.stddev1 * z1;
+      const double w1 = NormalPdf(z1) * 10.0 / grid;
+      acc += w0 * w1 * HypervolumeImprovement2D({y0, y1}, front, ref);
+    }
+  }
+  EXPECT_NEAR(quad, acc, 0.02 * std::max(0.5, acc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, EhviPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace vdt

@@ -1,0 +1,148 @@
+// Tests for the online-tuning extension (paper §VII future work) and the
+// simulated-annealing baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuner/annealing_tuner.h"
+#include "tuner/online_tuner.h"
+
+namespace vdt {
+namespace {
+
+/// Evaluator with a switchable "workload shape": phase 0 favors high-nprobe
+/// IVF configs, phase 1 shifts the optimum and degrades phase-0 champions.
+class DriftingEvaluator : public Evaluator {
+ public:
+  void set_phase(int phase) { phase_ = phase; }
+  int calls() const { return calls_; }
+
+  EvalOutcome Evaluate(const TuningConfig& config) override {
+    ++calls_;
+    EvalOutcome out;
+    const double effort = config.index.nprobe / 256.0;
+    if (phase_ == 0) {
+      out.qps = 2000.0 * (1.1 - effort);
+      out.recall = std::min(1.0, 0.6 + 0.45 * std::sqrt(effort));
+    } else {
+      // Drift: everything is ~3x slower and recall needs far more effort.
+      out.qps = 700.0 * (1.1 - effort);
+      out.recall = std::min(1.0, 0.3 + 0.75 * std::sqrt(effort));
+    }
+    out.memory_gib = 3.0;
+    out.eval_seconds = 50.0;
+    return out;
+  }
+
+ private:
+  int phase_ = 0;
+  int calls_ = 0;
+};
+
+OnlineTunerOptions SmallOptions() {
+  OnlineTunerOptions opts;
+  opts.retune_iters = 15;
+  opts.tuner.seed = 5;
+  opts.vdtuner.candidate_pool = 24;
+  opts.vdtuner.abandon_window = 4;
+  return opts;
+}
+
+TEST(OnlineTunerTest, InitializePromotesIncumbent) {
+  ParamSpace space;
+  DriftingEvaluator eval;
+  OnlineVdTuner online(&space, &eval, SmallOptions());
+  online.Initialize(15);
+  EXPECT_GT(online.incumbent_qps(), 0.0);
+  EXPECT_FALSE(online.knowledge_base().empty());
+}
+
+TEST(OnlineTunerTest, SteadyWhileWorkloadStable) {
+  ParamSpace space;
+  DriftingEvaluator eval;
+  OnlineVdTuner online(&space, &eval, SmallOptions());
+  online.Initialize(15);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(online.Tick(), OnlineEvent::kSteady);
+  }
+  EXPECT_EQ(online.retune_count(), 0);
+}
+
+TEST(OnlineTunerTest, DriftTriggersRetuneAndRecovers) {
+  ParamSpace space;
+  DriftingEvaluator eval;
+  OnlineVdTuner online(&space, &eval, SmallOptions());
+  online.Initialize(15);
+  const double before = online.incumbent_qps();
+
+  eval.set_phase(1);  // the workload shifts: incumbent degrades ~3x
+  const OnlineEvent event = online.Tick();
+  EXPECT_NE(event, OnlineEvent::kSteady);
+  EXPECT_GE(online.retune_count(), 1);
+  // The re-tuned incumbent reflects phase-1 reality (slower than phase 0).
+  EXPECT_LT(online.incumbent_qps(), before);
+  EXPECT_GT(online.incumbent_qps(), 0.0);
+
+  // Once adapted, the loop settles again.
+  EXPECT_EQ(online.Tick(), OnlineEvent::kSteady);
+}
+
+TEST(OnlineTunerTest, KnowledgeBaseGrowsAcrossSessions) {
+  ParamSpace space;
+  DriftingEvaluator eval;
+  OnlineVdTuner online(&space, &eval, SmallOptions());
+  online.Initialize(10);
+  const size_t after_init = online.knowledge_base().size();
+  eval.set_phase(1);
+  online.Tick();
+  EXPECT_GT(online.knowledge_base().size(), after_init);
+}
+
+TEST(OnlineTunerTest, RespectsRecallFloor) {
+  ParamSpace space;
+  DriftingEvaluator eval;
+  OnlineTunerOptions opts = SmallOptions();
+  opts.tuner.recall_floor = 0.9;
+  opts.vdtuner.candidate_pool = 48;
+  OnlineVdTuner online(&space, &eval, opts);
+  online.Initialize(40);
+  EXPECT_GE(online.incumbent_recall(), 0.9);
+}
+
+// ------------------------------------------------------------- annealing
+
+TEST(AnnealingTunerTest, RunsAndImproves) {
+  ParamSpace space;
+  DriftingEvaluator eval;
+  TunerOptions topts;
+  topts.seed = 9;
+  AnnealingTuner tuner(&space, &eval, topts);
+  tuner.Run(40);
+  ASSERT_EQ(tuner.history().size(), 40u);
+  double best_early = 0.0, best_all = 0.0;
+  for (size_t i = 0; i < tuner.history().size(); ++i) {
+    const auto& o = tuner.history()[i];
+    const double score = o.primary * o.feedback_recall;
+    if (i < 10) best_early = std::max(best_early, score);
+    best_all = std::max(best_all, score);
+  }
+  EXPECT_GE(best_all, best_early);
+}
+
+TEST(AnnealingTunerTest, DeterministicGivenSeed) {
+  auto run = [] {
+    ParamSpace space;
+    DriftingEvaluator eval;
+    TunerOptions topts;
+    topts.seed = 11;
+    AnnealingTuner tuner(&space, &eval, topts);
+    tuner.Run(15);
+    std::vector<double> qps;
+    for (const auto& o : tuner.history()) qps.push_back(o.qps);
+    return qps;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace vdt

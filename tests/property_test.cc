@@ -1,0 +1,269 @@
+// Cross-module property tests: invariants that must hold across parameter
+// sweeps — collection search correctness under arbitrary segment layouts,
+// index recall monotonicity, hypervolume monotonicity, NPI/EHVI sanity,
+// cost-model monotonicities, and failure-injection paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mobo/ehvi.h"
+#include "mobo/hypervolume.h"
+#include "tests/test_util.h"
+#include "tuner/evaluator.h"
+#include "workload/replay.h"
+
+namespace vdt {
+namespace {
+
+using testing_util::ClusteredMatrix;
+using testing_util::RandomMatrix;
+
+// ---------------------------------------------------------------- layouts
+
+struct LayoutCase {
+  double max_size_mb;
+  double seal_proportion;
+  double buf_mb;
+  int threshold;
+};
+
+class CollectionLayoutTest : public ::testing::TestWithParam<LayoutCase> {};
+
+// Whatever the segment layout, a FLAT collection must return exactly the
+// global brute-force answer (segmentation must never lose results).
+TEST_P(CollectionLayoutTest, FlatSearchIsExactUnderAnyLayout) {
+  const LayoutCase lc = GetParam();
+  const size_t n = 1000, dim = 16, k = 12;
+  FloatMatrix data = RandomMatrix(n, dim, 101);
+
+  CollectionOptions opts;
+  opts.metric = Metric::kAngular;
+  opts.scale.dataset_mb = 100.0;
+  opts.scale.actual_rows = n;
+  opts.index.type = IndexType::kFlat;
+  opts.system.segment_max_size_mb = lc.max_size_mb;
+  opts.system.seal_proportion = lc.seal_proportion;
+  opts.system.insert_buf_size_mb = lc.buf_mb;
+  opts.system.build_index_threshold = lc.threshold;
+  Collection coll(opts);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+
+  FloatMatrix queries = RandomMatrix(8, dim, 102);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto expected =
+        BruteForceSearch(data, Metric::kAngular, queries.Row(q), k, nullptr);
+    const auto got = coll.Search(queries.Row(q), k, nullptr);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id) << "query " << q << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, CollectionLayoutTest,
+    ::testing::Values(LayoutCase{2048, 1.0, 256, 32},   // one giant segment
+                      LayoutCase{100, 0.1, 1.0, 32},    // many small segments
+                      LayoutCase{100, 0.1, 1.0, 4096},  // nothing indexed
+                      LayoutCase{64, 0.05, 0.5, 32},    // tiny everything
+                      LayoutCase{512, 0.12, 16, 128})); // Milvus defaults
+
+// Total rows are preserved and ids are unique under any layout.
+TEST_P(CollectionLayoutTest, IdsArePreservedAndUnique) {
+  const LayoutCase lc = GetParam();
+  const size_t n = 600, dim = 8;
+  FloatMatrix data = RandomMatrix(n, dim, 103);
+
+  CollectionOptions opts;
+  opts.metric = Metric::kAngular;
+  opts.scale.dataset_mb = 100.0;
+  opts.scale.actual_rows = n;
+  opts.index.type = IndexType::kFlat;
+  opts.system.segment_max_size_mb = lc.max_size_mb;
+  opts.system.seal_proportion = lc.seal_proportion;
+  opts.system.insert_buf_size_mb = lc.buf_mb;
+  opts.system.build_index_threshold = lc.threshold;
+  Collection coll(opts);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+  EXPECT_EQ(coll.Stats().total_rows, n);
+
+  // Self-query: every stored vector must find itself (distance ~0).
+  std::set<int64_t> found;
+  for (size_t i = 0; i < n; i += 37) {
+    const auto hits = coll.Search(data.Row(i), 1, nullptr);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].id, static_cast<int64_t>(i));
+    EXPECT_LT(hits[0].distance, 1e-5f);
+    found.insert(hits[0].id);
+  }
+  EXPECT_EQ(found.size(), (n + 36) / 37);
+}
+
+// --------------------------------------------------------- hypervolume
+
+class HvMonotoneTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Adding any point never decreases hypervolume; adding a dominated point
+// never increases it.
+TEST_P(HvMonotoneTest, AdditionMonotonicity) {
+  Rng rng(GetParam());
+  std::vector<Point2> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back({rng.Uniform(0.1, 3.0), rng.Uniform(0.1, 3.0)});
+  }
+  const Point2 ref = {0, 0};
+  double hv = Hypervolume2D(pts, ref);
+  for (int i = 0; i < 8; ++i) {
+    const Point2 extra = {rng.Uniform(0.1, 3.0), rng.Uniform(0.1, 3.0)};
+    pts.push_back(extra);
+    const double hv2 = Hypervolume2D(pts, ref);
+    EXPECT_GE(hv2, hv - 1e-12);
+    hv = hv2;
+  }
+  // A point below the reference changes nothing.
+  pts.push_back({-1.0, -1.0});
+  EXPECT_NEAR(Hypervolume2D(pts, ref), hv, 1e-12);
+}
+
+// EHVI of a point deep inside the dominated region tends to zero; EHVI of a
+// clear improver approximates its deterministic HVI as variance shrinks.
+TEST_P(HvMonotoneTest, EhviLimits) {
+  Rng rng(GetParam() ^ 0xE);
+  std::vector<Point2> raw;
+  for (int i = 0; i < 6; ++i) {
+    raw.push_back({rng.Uniform(1.0, 2.0), rng.Uniform(1.0, 2.0)});
+  }
+  const auto front = ParetoFront(raw);
+  const Point2 ref = {0, 0};
+
+  BivariateGaussian dominated{0.2, 0.01, 0.2, 0.01};
+  EXPECT_LT(EhviQuadrature(dominated, front, ref), 1e-6);
+
+  const Point2 improver = {2.5, 2.5};
+  BivariateGaussian sharp{improver[0], 1e-6, improver[1], 1e-6};
+  EXPECT_NEAR(EhviQuadrature(sharp, front, ref),
+              HypervolumeImprovement2D(improver, front, ref), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HvMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --------------------------------------------------------- cost model
+
+class CostMonotoneTest : public ::testing::TestWithParam<int> {};
+
+// QPS is monotone non-increasing in every work counter.
+TEST_P(CostMonotoneTest, QpsMonotoneInWork) {
+  const int which = GetParam();
+  CostModelParams params;
+  SystemConfig sys;
+  CollectionStats stats;
+  stats.num_sealed_segments = 4;
+
+  WorkCounters base;
+  base.full_distance_evals = 5000;
+  base.coarse_distance_evals = 500;
+  base.code_distance_evals = 2000;
+  base.pq_lookup_ops = 10000;
+  base.graph_hops = 300;
+  base.table_build_flops = 4000;
+
+  WorkCounters heavier = base;
+  switch (which) {
+    case 0: heavier.full_distance_evals *= 3; break;
+    case 1: heavier.coarse_distance_evals *= 3; break;
+    case 2: heavier.code_distance_evals *= 3; break;
+    case 3: heavier.pq_lookup_ops *= 3; break;
+    case 4: heavier.graph_hops *= 3; break;
+    case 5: heavier.table_build_flops *= 3; break;
+  }
+  EXPECT_GT(ComputeQps(params, base, 64, 48, stats, sys, 10),
+            ComputeQps(params, heavier, 64, 48, stats, sys, 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counters, CostMonotoneTest, ::testing::Range(0, 6));
+
+// ----------------------------------------------------- failure injection
+
+// Every infeasible-parameter path surfaces as a failed evaluation (never a
+// crash, never silent success).
+TEST(FailureInjectionTest, InfeasibleConfigsFailCleanly) {
+  const auto data = GenerateDataset(DatasetProfile::kGlove, 700, 24, 7);
+  const auto workload = MakeWorkload(DatasetProfile::kGlove, data, 6, 10, 7);
+  VdmsEvaluatorOptions opts;
+  opts.profile = DatasetProfile::kGlove;
+  VdmsEvaluator evaluator(&data, &workload, opts);
+  ParamSpace space;
+
+  // PQ m does not divide dim=24.
+  {
+    TuningConfig c = space.DefaultConfig(IndexType::kIvfPq);
+    c.index.m = 5;
+    const EvalOutcome out = evaluator.Evaluate(c);
+    EXPECT_TRUE(out.failed);
+    EXPECT_FALSE(out.fail_reason.empty());
+  }
+  // HNSW M below the validity floor.
+  {
+    TuningConfig c = space.DefaultConfig(IndexType::kHnsw);
+    c.index.hnsw_m = 1;
+    const EvalOutcome out = evaluator.Evaluate(c);
+    EXPECT_TRUE(out.failed);
+  }
+  // Throughput below the replay timeout floor: strangled concurrency on an
+  // exhaustive index.
+  {
+    TuningConfig c = space.DefaultConfig(IndexType::kFlat);
+    c.system.max_read_concurrency = 1;
+    c.system.graceful_time_ms = 0.0;
+    const EvalOutcome out = evaluator.Evaluate(c);
+    EXPECT_TRUE(out.failed) << "qps=" << out.qps;
+  }
+  // A failed evaluation still reports simulated time (the paper's 15-minute
+  // cap burns budget).
+  {
+    TuningConfig c = space.DefaultConfig(IndexType::kIvfPq);
+    c.index.m = 5;
+    const EvalOutcome out = evaluator.Evaluate(c);
+    EXPECT_GT(out.eval_seconds, 0.0);
+  }
+}
+
+// ------------------------------------------------------------- replay k
+
+class RecallEffortTest : public ::testing::TestWithParam<int> {};
+
+// More probes never hurt collection-level recall (within noise): sweeps
+// nprobe across the whole range on one layout.
+TEST_P(RecallEffortTest, CollectionRecallMonotoneInNprobe) {
+  const auto data = GenerateDataset(DatasetProfile::kKeywordMatch, 1200, 24, 9);
+  const auto workload =
+      MakeWorkload(DatasetProfile::kKeywordMatch, data, 10, 32, 9);
+  VdmsEvaluatorOptions opts;
+  opts.profile = DatasetProfile::kKeywordMatch;
+  VdmsEvaluator evaluator(&data, &workload, opts);
+  ParamSpace space;
+
+  const int nprobe_lo = GetParam();
+  const int nprobe_hi = nprobe_lo * 4;
+  TuningConfig c = space.DefaultConfig(IndexType::kIvfFlat);
+  c.index.nlist = 64;
+  c.system.build_index_threshold = 32;
+
+  c.index.nprobe = nprobe_lo;
+  const EvalOutcome lo = evaluator.Evaluate(c);
+  c.index.nprobe = nprobe_hi;
+  const EvalOutcome hi = evaluator.Evaluate(c);
+  ASSERT_FALSE(lo.failed);
+  ASSERT_FALSE(hi.failed);
+  EXPECT_GE(hi.recall + 1e-9, lo.recall);
+  EXPECT_LE(hi.qps, lo.qps * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probes, RecallEffortTest, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace vdt

@@ -1,0 +1,512 @@
+// Tests for src/tuner: parameter space codec, evaluator (incl. cache and
+// failure handling), the tuning loop, every baseline, VDTuner's components
+// (NPI, scoring, abandonment, constraint model, bootstrapping), and SHAP.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "tests/test_util.h"
+#include "tuner/opentuner_like.h"
+#include "tuner/ottertune_like.h"
+#include "tuner/qehvi_tuner.h"
+#include "tuner/random_tuner.h"
+#include "tuner/shap.h"
+#include "tuner/vdtuner.h"
+
+namespace vdt {
+namespace {
+
+// ------------------------------------------------------------ param space
+
+TEST(ParamSpaceTest, HasSixteenDimensions) {
+  ParamSpace space;
+  EXPECT_EQ(space.dims(), 16u);
+  EXPECT_EQ(static_cast<size_t>(kNumParamDims), 16u);
+}
+
+TEST(ParamSpaceTest, EncodeDecodeRoundTrip) {
+  ParamSpace space;
+  TuningConfig c;
+  c.index_type = IndexType::kScann;
+  c.index.nlist = 301;
+  c.index.nprobe = 36;
+  c.index.reorder_k = 283;
+  c.system.segment_max_size_mb = 777.0;
+  c.system.seal_proportion = 0.4;
+  const TuningConfig back = space.Decode(space.Encode(c));
+  EXPECT_EQ(back.index_type, IndexType::kScann);
+  EXPECT_NEAR(back.index.nlist, 301, 2);  // log-grid rounding
+  EXPECT_NEAR(back.index.nprobe, 36, 1);
+  EXPECT_NEAR(back.index.reorder_k, 283, 2);
+  EXPECT_NEAR(back.system.segment_max_size_mb, 777.0, 5.0);
+  EXPECT_NEAR(back.system.seal_proportion, 0.4, 1e-6);
+}
+
+TEST(ParamSpaceTest, DecodeClampsOutOfRange) {
+  ParamSpace space;
+  std::vector<double> x(space.dims(), 2.0);  // above 1
+  const TuningConfig c = space.Decode(x);
+  EXPECT_LE(c.index.nlist, 1024);
+  EXPECT_LE(c.system.cache_ratio, 0.9);
+  std::vector<double> lo(space.dims(), -1.0);
+  const TuningConfig cl = space.Decode(lo);
+  EXPECT_GE(cl.index.nprobe, 1);
+  EXPECT_GE(cl.system.seal_proportion, 0.05);
+}
+
+TEST(ParamSpaceTest, IndexTypeCodecCoversAllTypes) {
+  ParamSpace space;
+  for (int t = 0; t < kNumIndexTypes; ++t) {
+    const auto type = static_cast<IndexType>(t);
+    EXPECT_EQ(space.DecodeIndexType(space.EncodeIndexType(type)), type);
+  }
+}
+
+TEST(ParamSpaceTest, ActiveDimsMatchTableOne) {
+  ParamSpace space;
+  auto has = [](const std::vector<size_t>& v, size_t d) {
+    return std::find(v.begin(), v.end(), d) != v.end();
+  };
+  const auto ivf = space.ActiveDims(IndexType::kIvfFlat);
+  EXPECT_TRUE(has(ivf, kDimNlist));
+  EXPECT_TRUE(has(ivf, kDimNprobe));
+  EXPECT_FALSE(has(ivf, kDimHnswM));
+  const auto pq = space.ActiveDims(IndexType::kIvfPq);
+  EXPECT_TRUE(has(pq, kDimPqM));
+  EXPECT_TRUE(has(pq, kDimPqNbits));
+  const auto hnsw = space.ActiveDims(IndexType::kHnsw);
+  EXPECT_TRUE(has(hnsw, kDimHnswM));
+  EXPECT_TRUE(has(hnsw, kDimEf));
+  EXPECT_FALSE(has(hnsw, kDimNlist));
+  const auto scann = space.ActiveDims(IndexType::kScann);
+  EXPECT_TRUE(has(scann, kDimReorderK));
+  const auto flat = space.ActiveDims(IndexType::kFlat);
+  EXPECT_FALSE(has(flat, kDimNlist));
+  // Every type keeps all 7 system dims.
+  for (int t = 0; t < kNumIndexTypes; ++t) {
+    const auto dims = space.ActiveDims(static_cast<IndexType>(t));
+    for (size_t d = kDimSegmentMaxSize; d < kNumParamDims; ++d) {
+      EXPECT_TRUE(has(dims, d)) << "type " << t << " missing system dim " << d;
+    }
+  }
+}
+
+TEST(ParamSpaceTest, PinFixesInactiveDims) {
+  ParamSpace space;
+  Rng rng(3);
+  std::vector<double> x = space.SamplePoint(&rng);
+  space.PinForIndexType(IndexType::kHnsw, &x);
+  const TuningConfig c = space.Decode(x);
+  EXPECT_EQ(c.index_type, IndexType::kHnsw);
+  // IVF parameters pinned to defaults.
+  EXPECT_EQ(c.index.nlist, 128);
+  EXPECT_EQ(c.index.nprobe, 16);
+}
+
+TEST(ParamSpaceTest, DefaultConfigMatchesMilvusDefaults) {
+  ParamSpace space;
+  const TuningConfig c = space.DefaultConfig(IndexType::kHnsw);
+  EXPECT_EQ(c.index_type, IndexType::kHnsw);
+  EXPECT_EQ(c.index.hnsw_m, 16);
+  EXPECT_EQ(c.index.ef_construction, 128);
+  EXPECT_NEAR(c.system.segment_max_size_mb, 512.0, 1e-9);
+  EXPECT_NEAR(c.system.seal_proportion, 0.12, 1e-9);
+}
+
+// ------------------------------------------------------------ synthetic
+// evaluator for fast tuner-mechanics tests
+
+/// A closed-form surface with a known structure: SCANN dominates, FLAT is
+/// slow, recall trades off against speed via nprobe/ef-like dimensions.
+class SyntheticEvaluator : public Evaluator {
+ public:
+  EvalOutcome Evaluate(const TuningConfig& config) override {
+    ++calls_;
+    EvalOutcome out;
+    const double type_speed[] = {0.25, 0.8, 0.9, 1.0, 0.9, 1.2, 0.7};
+    const double type_recall[] = {1.0, 0.9, 0.8, 0.55, 0.95, 0.92, 0.9};
+    const int t = static_cast<int>(config.index_type);
+
+    // Search effort: larger probes/ef raise recall, lower speed.
+    double effort = 0.5;
+    switch (config.index_type) {
+      case IndexType::kIvfFlat:
+      case IndexType::kIvfSq8:
+      case IndexType::kIvfPq:
+        effort = config.index.nprobe / 256.0;
+        break;
+      case IndexType::kScann:
+        effort = 0.6 * config.index.nprobe / 256.0 +
+                 0.4 * config.index.reorder_k / 1000.0;
+        break;
+      case IndexType::kHnsw:
+        effort = config.index.ef / 512.0;
+        break;
+      default:
+        effort = 0.5;
+    }
+    // System term: a narrow interdependent sweet spot (the paper's
+    // Challenge 1) — seal proportion must sit near 0.5 AND graceful time
+    // must be high; the penalty is multiplicative, not additive.
+    const double seal_term =
+        std::exp(-std::pow((config.system.seal_proportion - 0.5) / 0.18, 2));
+    const double graceful_term =
+        0.5 + 0.5 * std::min(1.0, config.system.graceful_time_ms / 500.0);
+    const double sys_quality = (0.35 + 0.65 * seal_term) * graceful_term;
+
+    out.qps = 1500.0 * type_speed[t] * (1.2 - effort) * sys_quality;
+    out.recall = std::min(
+        1.0, type_recall[t] * (0.55 + 0.5 * std::sqrt(std::max(0.0, effort))));
+    out.memory_gib = 2.0 + config.system.segment_max_size_mb / 1024.0 +
+                     config.system.cache_ratio;
+    out.eval_seconds = 100.0;
+    return out;
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  int calls_ = 0;
+};
+
+/// Evaluator that fails on a specific index type (PQ), for failure paths.
+class FailingEvaluator : public SyntheticEvaluator {
+ public:
+  EvalOutcome Evaluate(const TuningConfig& config) override {
+    if (config.index_type == IndexType::kIvfPq) {
+      EvalOutcome out;
+      out.failed = true;
+      out.fail_reason = "synthetic PQ failure";
+      out.eval_seconds = 900.0;
+      return out;
+    }
+    return SyntheticEvaluator::Evaluate(config);
+  }
+};
+
+// ------------------------------------------------------------ tuning loop
+
+TEST(TunerLoopTest, RecordsHistoryAndCumulativeTime) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 1;
+  RandomTuner tuner(&space, &eval, opts);
+  tuner.Run(10);
+  ASSERT_EQ(tuner.history().size(), 10u);
+  double prev = 0.0;
+  for (const auto& obs : tuner.history()) {
+    EXPECT_FALSE(obs.failed);
+    EXPECT_GT(obs.qps, 0.0);
+    EXPECT_GT(obs.cum_tuning_seconds, prev);
+    prev = obs.cum_tuning_seconds;
+  }
+  EXPECT_EQ(eval.calls(), 10);
+}
+
+TEST(TunerLoopTest, FailedConfigsGetWorstValues) {
+  ParamSpace space;
+  FailingEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 3;
+  RandomTuner tuner(&space, &eval, opts);
+  tuner.Run(60);
+  double worst_ok = 1e18;
+  bool saw_failure = false;
+  for (const auto& obs : tuner.history()) {
+    if (!obs.failed) worst_ok = std::min(worst_ok, obs.primary);
+  }
+  for (const auto& obs : tuner.history()) {
+    if (obs.failed) {
+      saw_failure = true;
+      EXPECT_LE(obs.primary, worst_ok + 1e-9);
+      EXPECT_EQ(obs.recall, 0.0);  // true outcome stays zeroed
+    }
+  }
+  EXPECT_TRUE(saw_failure);  // LHS over 60 samples must hit IVF_PQ
+}
+
+TEST(TunerLoopTest, BestPrimaryHelpers) {
+  std::vector<Observation> h(3);
+  h[0].qps = h[0].primary = 100;
+  h[0].recall = 0.95;
+  h[0].iteration = 1;
+  h[0].cum_tuning_seconds = 10;
+  h[1].qps = h[1].primary = 500;
+  h[1].recall = 0.80;
+  h[1].iteration = 2;
+  h[1].cum_tuning_seconds = 20;
+  h[2].qps = h[2].primary = 300;
+  h[2].recall = 0.92;
+  h[2].iteration = 3;
+  h[2].cum_tuning_seconds = 30;
+  EXPECT_DOUBLE_EQ(BestPrimaryUnderRecallFloor(h, 0.9), 300.0);
+  EXPECT_DOUBLE_EQ(BestPrimaryUnderRecallFloor(h, 0.99), 0.0);
+  EXPECT_EQ(IterationsToReach(h, 0.9, 200.0), 3);
+  EXPECT_EQ(IterationsToReach(h, 0.9, 1000.0), -1);
+  EXPECT_DOUBLE_EQ(SecondsToReach(h, 0.9, 200.0), 30.0);
+}
+
+TEST(TunerLoopTest, CostEffectivenessObjective) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.primary = PrimaryObjective::kCostEffectiveness;
+  opts.eta = 1.0;
+  RandomTuner tuner(&space, &eval, opts);
+  tuner.Run(5);
+  for (const auto& obs : tuner.history()) {
+    EXPECT_NEAR(obs.primary, obs.qps / obs.memory_gib, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ baselines
+
+TEST(RandomTunerTest, CoversIndexTypes) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 5;
+  RandomTuner tuner(&space, &eval, opts);
+  tuner.Run(40);
+  std::set<int> types;
+  for (const auto& obs : tuner.history()) {
+    types.insert(static_cast<int>(obs.config.index_type));
+  }
+  EXPECT_GE(types.size(), 5u);
+}
+
+TEST(OpenTunerTest, ImprovesOverTime) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 7;
+  OpenTunerLike tuner(&space, &eval, opts);
+  tuner.Run(40);
+  const auto& h = tuner.history();
+  double best_early = 0.0, best_late = 0.0;
+  for (size_t i = 0; i < 10; ++i) {
+    best_early = std::max(best_early, h[i].primary * h[i].feedback_recall);
+  }
+  for (const auto& obs : h) {
+    best_late = std::max(best_late, obs.primary * obs.feedback_recall);
+  }
+  EXPECT_GE(best_late, best_early);
+}
+
+TEST(OtterTuneTest, InitThenModelPhase) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 9;
+  opts.init_samples = 5;
+  OtterTuneLike tuner(&space, &eval, opts);
+  tuner.Run(12);
+  EXPECT_EQ(tuner.history().size(), 12u);
+}
+
+TEST(QehviTest, FindsGoodTradeoffs) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 11;
+  opts.init_samples = 6;
+  QehviTuner tuner(&space, &eval, opts, /*candidate_pool=*/64);
+  tuner.Run(25);
+  EXPECT_GT(BestPrimaryUnderRecallFloor(tuner.history(), 0.85), 0.0);
+}
+
+// ------------------------------------------------------------ VDTuner
+
+TEST(VdTunerTest, InitialSamplingCoversAllIndexTypes) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 13;
+  VdTuner tuner(&space, &eval, opts);
+  tuner.Run(kNumIndexTypes);
+  std::set<int> types;
+  for (const auto& obs : tuner.history()) {
+    types.insert(static_cast<int>(obs.config.index_type));
+    // Initial samples are the per-type defaults.
+    EXPECT_EQ(obs.config.system.segment_max_size_mb, 512.0);
+  }
+  EXPECT_EQ(types.size(), static_cast<size_t>(kNumIndexTypes));
+}
+
+TEST(VdTunerTest, SuccessiveAbandonShrinksRotation) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 15;
+  VdtunerOptions vd;
+  vd.abandon_window = 5;
+  vd.candidate_pool = 32;  // keep the test fast
+  VdTuner tuner(&space, &eval, opts, vd);
+  tuner.Run(45);
+  EXPECT_LT(tuner.remaining().size(), static_cast<size_t>(kNumIndexTypes));
+  // FLAT (slowest by construction) should be among the abandoned.
+  const auto& rem = tuner.remaining();
+  EXPECT_EQ(std::find(rem.begin(), rem.end(), IndexType::kFlat), rem.end());
+}
+
+TEST(VdTunerTest, RoundRobinAblationKeepsAllTypes) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 17;
+  VdtunerOptions vd;
+  vd.use_successive_abandon = false;
+  vd.candidate_pool = 32;
+  VdTuner tuner(&space, &eval, opts, vd);
+  tuner.Run(30);
+  EXPECT_EQ(tuner.remaining().size(), static_cast<size_t>(kNumIndexTypes));
+}
+
+TEST(VdTunerTest, ScoreLogTracksRemainingTypes) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 19;
+  VdtunerOptions vd;
+  vd.candidate_pool = 32;
+  VdTuner tuner(&space, &eval, opts, vd);
+  tuner.Run(20);
+  ASSERT_FALSE(tuner.score_log().empty());
+  for (const auto& scores : tuner.score_log()) {
+    int finite = 0;
+    for (double s : scores) finite += std::isfinite(s) ? 1 : 0;
+    EXPECT_GE(finite, 1);
+    for (double s : scores) {
+      if (std::isfinite(s)) EXPECT_GE(s, -1e-9);  // Eq. 6 is non-negative
+    }
+  }
+}
+
+TEST(VdTunerTest, OutperformsRandomOnSyntheticSurface) {
+  ParamSpace space;
+  TunerOptions opts;
+  opts.seed = 21;
+
+  SyntheticEvaluator eval_vd;
+  VdtunerOptions vd;
+  vd.candidate_pool = 64;
+  VdTuner vdtuner(&space, &eval_vd, opts, vd);
+  vdtuner.Run(60);
+
+  SyntheticEvaluator eval_rand;
+  RandomTuner random(&space, &eval_rand, opts);
+  random.Run(60);
+
+  // VDTuner's model-guided search should be competitive with (typically
+  // better than) space-filling random at the same budget.
+  EXPECT_GE(BestPrimaryUnderRecallFloor(vdtuner.history(), 0.9),
+            0.85 * BestPrimaryUnderRecallFloor(random.history(), 0.9));
+}
+
+TEST(VdTunerTest, ConstraintModeRespectsFloor) {
+  ParamSpace space;
+  SyntheticEvaluator eval;
+  TunerOptions opts;
+  opts.seed = 23;
+  opts.recall_floor = 0.9;
+  VdtunerOptions vd;
+  vd.candidate_pool = 64;
+  VdTuner tuner(&space, &eval, opts, vd);
+  tuner.Run(70);
+
+  // Fig. 12's claim is comparative: modeling the constraint reaches a given
+  // feasible performance level in no more samples than plain bi-objective
+  // VDTuner, and is at least as good at the same budget.
+  TunerOptions unopts = opts;
+  unopts.recall_floor.reset();
+  SyntheticEvaluator uneval;
+  VdTuner unconstrained(&space, &uneval, unopts, vd);
+  unconstrained.Run(70);
+
+  const double target =
+      0.55 * BestPrimaryUnderRecallFloor(unconstrained.history(), 0.9);
+  const int con_iters = IterationsToReach(tuner.history(), 0.9, target);
+  const int unc_iters = IterationsToReach(unconstrained.history(), 0.9, target);
+  ASSERT_GT(con_iters, 0);
+  ASSERT_GT(unc_iters, 0);
+  EXPECT_LE(con_iters, unc_iters);
+  EXPECT_GE(BestPrimaryUnderRecallFloor(tuner.history(), 0.9),
+            0.9 * BestPrimaryUnderRecallFloor(unconstrained.history(), 0.9));
+}
+
+TEST(VdTunerTest, BootstrapSeedsSurrogate) {
+  ParamSpace space;
+  SyntheticEvaluator eval0;
+  TunerOptions opts;
+  opts.seed = 25;
+  VdtunerOptions vd;
+  vd.candidate_pool = 32;
+  VdTuner first(&space, &eval0, opts, vd);
+  first.Run(20);
+
+  SyntheticEvaluator eval1;
+  VdTuner second(&space, &eval1, opts, vd);
+  second.Bootstrap(first.history());
+  second.Run(10);
+  EXPECT_EQ(second.history().size(), 10u);  // prior not counted as iterations
+  EXPECT_GT(BestPrimaryUnderRecallFloor(second.history(), 0.85), 0.0);
+}
+
+TEST(VdTunerTest, DeterministicGivenSeed) {
+  ParamSpace space;
+  TunerOptions opts;
+  opts.seed = 27;
+  VdtunerOptions vd;
+  vd.candidate_pool = 24;
+
+  SyntheticEvaluator e1, e2;
+  VdTuner a(&space, &e1, opts, vd), b(&space, &e2, opts, vd);
+  a.Run(20);
+  b.Run(20);
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (size_t i = 0; i < a.history().size(); ++i) {
+    EXPECT_EQ(a.history()[i].config.index_type,
+              b.history()[i].config.index_type);
+    EXPECT_DOUBLE_EQ(a.history()[i].qps, b.history()[i].qps);
+  }
+}
+
+// ------------------------------------------------------------ SHAP
+
+TEST(ShapTest, AttributionsSumToDelta) {
+  ParamSpace space;
+  // Metric: linear in two coordinates -> exact Shapley values.
+  MetricFn metric = [](const std::vector<double>& x) {
+    return 3.0 * x[kDimSegmentMaxSize] + 1.0 * x[kDimCacheRatio];
+  };
+  std::vector<double> baseline(space.dims(), 0.0);
+  std::vector<double> target(space.dims(), 0.0);
+  target[kDimSegmentMaxSize] = 1.0;
+  target[kDimCacheRatio] = 1.0;
+  const auto attr = ShapleyAttribution(space, metric, baseline, target, {});
+  double sum = 0.0;
+  for (const auto& a : attr) sum += a.contribution;
+  EXPECT_NEAR(sum, 4.0, 1e-9);
+  EXPECT_NEAR(attr[kDimSegmentMaxSize].contribution, 3.0, 1e-9);
+  EXPECT_NEAR(attr[kDimCacheRatio].contribution, 1.0, 1e-9);
+  EXPECT_EQ(attr[kDimSegmentMaxSize].param_name, "segment_maxSize");
+}
+
+TEST(ShapTest, SurrogateMetricApproximatesData) {
+  Rng rng(29);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 24; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform()};
+    ys.push_back(5.0 * x[0] + x[1]);
+    xs.push_back(std::move(x));
+  }
+  MetricFn f = SurrogateMetric(xs, ys, 1);
+  EXPECT_NEAR(f({0.5, 0.5}), 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace vdt

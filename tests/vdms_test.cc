@@ -1,0 +1,268 @@
+// Tests for src/vdms: segments, collection ingest/seal/search, the memory
+// model, the engine API, and the system-parameter interdependencies the
+// paper's Figure 1 relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+#include "vdms/memory_model.h"
+#include "vdms/vdms.h"
+
+namespace vdt {
+namespace {
+
+using testing_util::ClusteredMatrix;
+using testing_util::RandomMatrix;
+
+CollectionOptions SmallOptions(size_t actual_rows, double dataset_mb = 100.0) {
+  CollectionOptions opts;
+  opts.metric = Metric::kAngular;
+  opts.scale.dataset_mb = dataset_mb;
+  opts.scale.actual_rows = actual_rows;
+  opts.index.type = IndexType::kIvfFlat;
+  opts.index.params.nlist = 16;
+  opts.index.params.nprobe = 16;
+  opts.system.build_index_threshold = 32;
+  return opts;
+}
+
+TEST(ScaleModelTest, RoundTrip) {
+  ScaleModel s;
+  s.dataset_mb = 400.0;
+  s.actual_rows = 4000;
+  EXPECT_EQ(s.RowsForMb(100.0), 1000u);
+  EXPECT_NEAR(s.MbForRows(1000), 100.0, 1e-9);
+}
+
+TEST(SegmentTest, SealBuildsIndexAboveThreshold) {
+  FloatMatrix data = RandomMatrix(300, 16, 31);
+  Segment seg(0, 16);
+  for (size_t i = 0; i < data.rows(); ++i) seg.Append(data.Row(i), 16);
+  IndexParams params;
+  params.nlist = 8;
+  ASSERT_TRUE(seg.Seal(IndexType::kIvfFlat, Metric::kAngular, params,
+                       /*build_threshold=*/100, 7)
+                  .ok());
+  EXPECT_TRUE(seg.sealed());
+  EXPECT_TRUE(seg.indexed());
+}
+
+TEST(SegmentTest, SmallSegmentStaysBruteForce) {
+  FloatMatrix data = RandomMatrix(50, 16, 32);
+  Segment seg(10, 16);
+  for (size_t i = 0; i < data.rows(); ++i) seg.Append(data.Row(i), 16);
+  ASSERT_TRUE(seg.Seal(IndexType::kHnsw, Metric::kAngular, {}, 100, 7).ok());
+  EXPECT_TRUE(seg.sealed());
+  EXPECT_FALSE(seg.indexed());
+  // Ids are offset by base_id.
+  auto hits = seg.Search(Metric::kAngular, data.Row(0), 1, nullptr);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 10);
+}
+
+TEST(SegmentTest, DoubleSealFails) {
+  Segment seg(0, 8);
+  FloatMatrix data = RandomMatrix(10, 8, 33);
+  for (size_t i = 0; i < data.rows(); ++i) seg.Append(data.Row(i), 8);
+  ASSERT_TRUE(seg.Seal(IndexType::kFlat, Metric::kAngular, {}, 1, 7).ok());
+  EXPECT_FALSE(seg.Seal(IndexType::kFlat, Metric::kAngular, {}, 1, 7).ok());
+}
+
+TEST(CollectionTest, SegmentationFollowsSealRows) {
+  const size_t n = 2000;
+  auto opts = SmallOptions(n, /*dataset_mb=*/100.0);
+  // seal at 10 MB => 200 actual rows per sealed segment.
+  opts.system.segment_max_size_mb = 100.0;
+  opts.system.seal_proportion = 0.1;
+  opts.system.insert_buf_size_mb = 2.5;  // 50-row buffer
+  Collection coll(opts);
+  FloatMatrix data = RandomMatrix(n, 16, 34);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+  const CollectionStats stats = coll.Stats();
+  EXPECT_EQ(stats.total_rows, n);
+  EXPECT_NEAR(static_cast<double>(stats.num_sealed_segments), 10.0, 1.0);
+  EXPECT_EQ(stats.buffered_rows, 0u);
+}
+
+TEST(CollectionTest, SearchFindsExactMatches) {
+  const size_t n = 1200;
+  auto opts = SmallOptions(n);
+  opts.index.type = IndexType::kFlat;
+  Collection coll(opts);
+  FloatMatrix data = ClusteredMatrix(n, 16, 8, 0.3, 35);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+  // Query with a stored vector: its own id must be the top hit.
+  for (size_t i = 0; i < n; i += 157) {
+    auto hits = coll.Search(data.Row(i), 1, nullptr);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].id, static_cast<int64_t>(i));
+  }
+}
+
+TEST(CollectionTest, SearchCoversBufferAndGrowing) {
+  auto opts = SmallOptions(1000, 100.0);
+  // Huge segments: nothing seals; everything sits in buffer/growing.
+  opts.system.segment_max_size_mb = 2048.0;
+  opts.system.seal_proportion = 1.0;
+  opts.system.insert_buf_size_mb = 30.0;  // 300-row buffer
+  Collection coll(opts);
+  FloatMatrix data = RandomMatrix(1000, 16, 36);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  // No flush: rows live in growing segment + insert buffer.
+  const CollectionStats stats = coll.Stats();
+  EXPECT_EQ(stats.num_sealed_segments, 0u);
+  EXPECT_GT(stats.buffered_rows, 0u);
+  auto hits = coll.Search(data.Row(999), 1, nullptr);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 999);
+}
+
+TEST(CollectionTest, FailedIndexBuildSurfacesError) {
+  auto opts = SmallOptions(600, 50.0);
+  opts.index.type = IndexType::kIvfPq;
+  opts.index.params.m = 7;  // 16 % 7 != 0 -> build failure on seal
+  opts.system.segment_max_size_mb = 100.0;
+  opts.system.seal_proportion = 0.5;  // seals at 600 rows
+  opts.system.insert_buf_size_mb = 5.0;
+  Collection coll(opts);
+  FloatMatrix data = RandomMatrix(600, 16, 37);
+  Status st = coll.Insert(data);
+  if (st.ok()) st = coll.Flush();
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(CollectionTest, GrowingRowsSlowBruteForceScanned) {
+  // With a tiny build threshold everything sealed gets an index; with a
+  // huge one, sealed segments stay brute force (growing_rows counts them).
+  auto opts = SmallOptions(1000, 100.0);
+  opts.system.segment_max_size_mb = 100.0;
+  opts.system.seal_proportion = 0.2;  // 200-row segments
+  opts.system.build_index_threshold = 4096;
+  Collection coll(opts);
+  FloatMatrix data = RandomMatrix(1000, 16, 38);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+  const CollectionStats stats = coll.Stats();
+  EXPECT_EQ(stats.num_indexed_segments, 0u);
+  EXPECT_EQ(stats.growing_rows, 1000u);
+}
+
+TEST(CollectionTest, WorkDecreasesWithFewerProbes) {
+  auto opts = SmallOptions(1500, 100.0);
+  opts.index.params.nlist = 32;
+  Collection coll(opts);
+  FloatMatrix data = RandomMatrix(1500, 16, 39);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+
+  IndexParams wide = opts.index.params;
+  wide.nprobe = 32;
+  coll.UpdateSearchParams(wide);
+  WorkCounters wide_wc;
+  coll.Search(data.Row(0), 10, &wide_wc);
+
+  IndexParams narrow = opts.index.params;
+  narrow.nprobe = 2;
+  coll.UpdateSearchParams(narrow);
+  WorkCounters narrow_wc;
+  coll.Search(data.Row(0), 10, &narrow_wc);
+
+  EXPECT_LT(narrow_wc.full_distance_evals, wide_wc.full_distance_evals);
+}
+
+TEST(MemoryModelTest, ComponentsRespondToKnobs) {
+  CollectionStats stats;
+  stats.total_rows = 4000;
+  stats.num_sealed_segments = 8;
+  stats.data_mb_paper_scale = 472.0;
+  stats.index_mb_paper_scale = 100.0;
+
+  SystemConfig base;
+  const MemoryBreakdown m0 = ComputeMemory(stats, base);
+
+  SystemConfig more_cache = base;
+  more_cache.cache_ratio = 0.9;
+  EXPECT_GT(ComputeMemory(stats, more_cache).TotalMb(), m0.TotalMb());
+
+  SystemConfig bigger_segments = base;
+  bigger_segments.segment_max_size_mb = 2048.0;
+  EXPECT_GT(ComputeMemory(stats, bigger_segments).TotalMb(), m0.TotalMb());
+
+  SystemConfig bigger_buffer = base;
+  bigger_buffer.insert_buf_size_mb = 256.0;
+  EXPECT_GT(ComputeMemory(stats, bigger_buffer).TotalMb(), m0.TotalMb());
+}
+
+TEST(MemoryModelTest, TotalIsSumOfParts) {
+  CollectionStats stats;
+  stats.data_mb_paper_scale = 100.0;
+  stats.num_sealed_segments = 4;
+  SystemConfig sys;
+  const MemoryBreakdown m = ComputeMemory(stats, sys);
+  EXPECT_NEAR(m.TotalMb(), m.base_mb + m.data_mb + m.index_mb + m.cache_mb +
+                               m.insert_buffer_mb + m.arena_mb + m.segment_mb,
+              1e-9);
+  EXPECT_NEAR(m.TotalGib() * 1024.0, m.TotalMb(), 1e-9);
+}
+
+TEST(VdmsEngineTest, CollectionLifecycle) {
+  VdmsEngine engine;
+  auto opts = SmallOptions(500);
+  opts.name = "test";
+  ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  EXPECT_TRUE(engine.HasCollection("test"));
+  EXPECT_EQ(engine.CreateCollection(opts).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine.ListCollections().size(), 1u);
+
+  FloatMatrix data = RandomMatrix(500, 16, 41);
+  ASSERT_TRUE(engine.Insert("test", data).ok());
+  ASSERT_TRUE(engine.Flush("test").ok());
+
+  auto hits = engine.Search("test", data.Row(3), 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ((*hits)[0].id, 3);
+
+  auto stats = engine.GetStats("test");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->total_rows, 500u);
+
+  auto mem = engine.GetMemory("test");
+  ASSERT_TRUE(mem.ok());
+  EXPECT_GT(mem->TotalGib(), 0.0);
+
+  ASSERT_TRUE(engine.DropCollection("test").ok());
+  EXPECT_EQ(engine.DropCollection("test").code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.Search("missing", data.Row(0), 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+// Property sweep (Fig. 1 mechanism): for fixed maxSize, lowering the seal
+// proportion means smaller sealed segments -> more per-segment overhead
+// units. Checks the monotone relationship the heatmap relies on.
+class SealProportionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SealProportionTest, SegmentCountMonotoneInSealProportion) {
+  const double prop = GetParam();
+  auto opts = SmallOptions(2000, 100.0);
+  opts.system.segment_max_size_mb = 100.0;
+  opts.system.seal_proportion = prop;
+  opts.system.insert_buf_size_mb = 1.0;
+  Collection coll(opts);
+  FloatMatrix data = RandomMatrix(2000, 16, 43);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+  const size_t expected_segments = static_cast<size_t>(
+      std::ceil(1.0 / prop));  // dataset is exactly one maxSize worth
+  EXPECT_NEAR(static_cast<double>(coll.Stats().num_sealed_segments),
+              static_cast<double>(expected_segments),
+              2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Proportions, SealProportionTest,
+                         ::testing::Values(0.1, 0.2, 0.25, 0.5, 1.0));
+
+}  // namespace
+}  // namespace vdt
