@@ -1,0 +1,85 @@
+#include "common/parallel_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/env.h"
+
+namespace vdt {
+namespace {
+
+// True while the current thread is executing a ParallelExecutor task; nested
+// ParallelFor calls from such a thread run inline (submitting to the pool and
+// blocking on it from one of its own workers would deadlock).
+thread_local bool tl_in_executor_task = false;
+
+size_t DefaultThreads() {
+  const int64_t env = EnvInt("VDT_THREADS", 0);
+  if (env > 0) return static_cast<size_t>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(size_t num_threads)
+    : pool_(std::make_unique<ThreadPool>(
+          num_threads > 0 ? num_threads : DefaultThreads())) {}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+size_t ParallelExecutor::num_threads() const { return pool_->num_threads(); }
+
+void ParallelExecutor::RunInline(size_t n,
+                                 const std::function<void(size_t)>& fn) {
+  for (size_t i = 0; i < n; ++i) fn(i);
+}
+
+void ParallelExecutor::ParallelFor(size_t n,
+                                   const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || num_threads() == 1 || tl_in_executor_task) {
+    RunInline(n, fn);
+    return;
+  }
+
+  // Per-call completion state (not ThreadPool::Wait) so concurrent
+  // ParallelFor calls from different caller threads do not block on each
+  // other's tasks. Workers pull item indices from a shared counter.
+  struct CallState {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t live_chunks = 0;
+  };
+  auto state = std::make_shared<CallState>();
+  const size_t chunks = std::min(n, num_threads());
+  state->live_chunks = chunks;
+
+  for (size_t c = 0; c < chunks; ++c) {
+    pool_->Submit([state, n, &fn] {
+      tl_in_executor_task = true;
+      for (;;) {
+        const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+      tl_in_executor_task = false;
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->live_chunks == 0) state->done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->live_chunks == 0; });
+}
+
+ParallelExecutor& ParallelExecutor::Global() {
+  static ParallelExecutor* executor = new ParallelExecutor();
+  return *executor;
+}
+
+}  // namespace vdt

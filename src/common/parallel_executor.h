@@ -1,0 +1,50 @@
+// The batched-evaluation engine: a process-wide executor that shards
+// independent per-item tasks (one task per query in SearchBatch) across a
+// shared ThreadPool. Callers write results into pre-sized slots keyed by
+// item index, so parallel execution is bit-identical to the sequential loop
+// regardless of completion order.
+#ifndef VDTUNER_COMMON_PARALLEL_EXECUTOR_H_
+#define VDTUNER_COMMON_PARALLEL_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "common/thread_pool.h"
+
+namespace vdt {
+
+/// Runs fn(i) for i in [0, n) across a fixed thread pool and blocks until all
+/// items complete. Safe to call from inside one of its own worker threads
+/// (nested calls degrade to inline execution instead of deadlocking), and
+/// safe to call concurrently from multiple caller threads.
+class ParallelExecutor {
+ public:
+  /// `num_threads` == 0 sizes the pool from VDT_THREADS (env) or, when that
+  /// is unset, std::thread::hardware_concurrency().
+  explicit ParallelExecutor(size_t num_threads = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Executes fn(i) for every i in [0, n); returns after all complete.
+  /// `fn` must not throw. Items may run in any order and concurrently —
+  /// callers that need ordered output should write into slot i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const;
+
+  /// The process-wide executor used by SearchBatch / replay when the caller
+  /// does not supply one. Constructed on first use.
+  static ParallelExecutor& Global();
+
+ private:
+  void RunInline(size_t n, const std::function<void(size_t)>& fn);
+
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_COMMON_PARALLEL_EXECUTOR_H_

@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace vdt {
 
@@ -33,23 +32,6 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-}
-
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  // Chunk work to limit queue churn for large n.
-  const size_t chunks = std::min(n, workers_.size() * 4);
-  std::atomic<size_t> next{0};
-  for (size_t c = 0; c < chunks; ++c) {
-    Submit([&, n] {
-      for (;;) {
-        size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
-  }
-  Wait();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -32,8 +32,9 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  // Parallel-for loops live in ParallelExecutor, which tracks completion
+  // per call; Wait() here blocks on the WHOLE pool draining, which is only
+  // safe when no other caller shares the pool.
 
  private:
   void WorkerLoop();

@@ -57,8 +57,12 @@ float Norm(const float* a, size_t dim) {
 
 void NormalizeVector(float* a, size_t dim) {
   const float n = Norm(a, dim);
-  if (n <= 0.f) return;
+  // Leave the vector untouched when the norm is zero, subnormal-tiny, or
+  // non-finite (overflowed / NaN inputs): dividing by it would fill the
+  // vector with inf/NaN that poisons every downstream distance.
+  if (!std::isfinite(n) || n <= 0.f) return;
   const float inv = 1.0f / n;
+  if (!std::isfinite(inv)) return;
   for (size_t i = 0; i < dim; ++i) a[i] *= inv;
 }
 

@@ -5,6 +5,7 @@
 #define VDTUNER_INDEX_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,8 @@
 #include "index/distance.h"
 
 namespace vdt {
+
+class ParallelExecutor;
 
 /// Index types supported by the VDMS (paper Table I).
 enum class IndexType {
@@ -100,6 +103,16 @@ class VectorIndex {
   virtual std::vector<Neighbor> Search(const float* query, size_t k,
                                        WorkCounters* counters) const = 0;
 
+  /// Top-k for every row of `queries`; result i corresponds to
+  /// queries.Row(i). Queries are sharded one-per-task across `executor`
+  /// (ParallelExecutor::Global() when null). Search() is const and
+  /// side-effect-free on every backend, so results and the counter
+  /// aggregate are identical to calling Search() sequentially in row
+  /// order, independent of thread count and scheduling.
+  virtual std::vector<std::vector<Neighbor>> SearchBatch(
+      const FloatMatrix& queries, size_t k, WorkCounters* counters,
+      ParallelExecutor* executor = nullptr) const;
+
   /// Updates search-time knobs (nprobe, ef, reorder_k) without rebuilding.
   /// Build-time parameters are fixed once Build() has run; see
   /// BuildSignature() for which is which.
@@ -115,6 +128,19 @@ class VectorIndex {
   /// Number of indexed vectors.
   virtual size_t Size() const = 0;
 };
+
+/// The engine behind every SearchBatch implementation: runs
+/// `search_one(q, per_query_counters)` for q in [0, num_queries) sharded
+/// one-per-task across `executor` (ParallelExecutor::Global() when null),
+/// returning results in query order and folding per-query counters into
+/// `counters` (may be null) in query order. `search_one` must be
+/// thread-safe and side-effect-free, which makes the parallel run
+/// indistinguishable from a sequential loop.
+std::vector<std::vector<Neighbor>> ParallelSearchBatch(
+    size_t num_queries,
+    const std::function<std::vector<Neighbor>(size_t, WorkCounters*)>&
+        search_one,
+    WorkCounters* counters, ParallelExecutor* executor);
 
 /// Creates an index of `type` with `params` over `metric`. `seed` controls
 /// k-means and HNSW level draws. AUTOINDEX ignores params and picks its own.

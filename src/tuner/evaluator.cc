@@ -9,7 +9,16 @@ namespace vdt {
 
 VdmsEvaluator::VdmsEvaluator(const FloatMatrix* data, const Workload* workload,
                              VdmsEvaluatorOptions options)
-    : data_(data), workload_(workload), options_(options) {}
+    : data_(data), workload_(workload), options_(options) {
+  // The replay pass is the hot path of every tuner iteration: when the
+  // caller asked for a dedicated width, build the pool once here instead of
+  // per replay. eval_threads == 0 leaves the caller's replay options as-is,
+  // and a caller-supplied replay.executor always wins over eval_threads.
+  if (options_.eval_threads > 0 && options_.replay.executor == nullptr) {
+    executor_ = std::make_unique<ParallelExecutor>(options_.eval_threads);
+    options_.replay.executor = executor_.get();
+  }
+}
 
 std::string VdmsEvaluator::CacheKey(const TuningConfig& config) const {
   // Layout-affecting system parameters + the index build signature. Two

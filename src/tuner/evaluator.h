@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "common/parallel_executor.h"
 #include "tuner/param_space.h"
 #include "workload/replay.h"
 #include "workload/workload.h"
@@ -45,6 +46,13 @@ struct VdmsEvaluatorOptions {
   /// Built collections cached across evaluations (keyed by segment layout +
   /// index build signature). 0 disables caching.
   size_t cache_capacity = 24;
+  /// Worker threads for the batched query evaluation inside each replay:
+  /// 0 leaves the replay options untouched (process-wide ParallelExecutor
+  /// unless the caller configured `replay` otherwise); n > 0 makes the
+  /// evaluator own one n-thread executor reused across all evaluations.
+  /// Parallelism changes only the wall-clock cost of an evaluation, never
+  /// its outcome.
+  size_t eval_threads = 0;
 };
 
 /// Evaluates configurations against a real collection built over `data`.
@@ -68,6 +76,9 @@ class VdmsEvaluator : public Evaluator {
   const FloatMatrix* data_;
   const Workload* workload_;
   VdmsEvaluatorOptions options_;
+  /// Owned executor behind options_.replay.executor when eval_threads > 0;
+  /// built once so repeated evaluations share one pool.
+  std::unique_ptr<ParallelExecutor> executor_;
 
   // LRU cache of built collections.
   std::list<std::pair<std::string, std::shared_ptr<Collection>>> lru_;

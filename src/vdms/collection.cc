@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel_executor.h"
 #include "index/topk.h"
 
 namespace vdt {
@@ -118,6 +119,17 @@ std::vector<Neighbor> Collection::Search(const float* query, size_t k,
     }
   }
   return merged.Take();
+}
+
+std::vector<std::vector<Neighbor>> Collection::SearchBatch(
+    const FloatMatrix& queries, size_t k, WorkCounters* counters,
+    ParallelExecutor* executor) const {
+  // The segment walk inside Search() is read-only after ingest, so the
+  // shared batch engine needs no locking.
+  return ParallelSearchBatch(
+      queries.rows(),
+      [&](size_t q, WorkCounters* wc) { return Search(queries.Row(q), k, wc); },
+      counters, executor);
 }
 
 void Collection::UpdateSearchParams(const IndexParams& params) {

@@ -16,6 +16,8 @@
 
 namespace vdt {
 
+class ParallelExecutor;
+
 /// Index configuration of a collection: type plus parameter bag.
 struct IndexSpec {
   IndexType type = IndexType::kAutoIndex;
@@ -88,6 +90,14 @@ class Collection {
   /// insert buffer. Thread-safe.
   std::vector<Neighbor> Search(const float* query, size_t k,
                                WorkCounters* counters) const;
+
+  /// Search() for every row of `queries`, sharded one query per task across
+  /// `executor` (ParallelExecutor::Global() when null). Result i corresponds
+  /// to queries.Row(i); results and the counter aggregate are identical to
+  /// calling Search() sequentially in row order.
+  std::vector<std::vector<Neighbor>> SearchBatch(
+      const FloatMatrix& queries, size_t k, WorkCounters* counters,
+      ParallelExecutor* executor = nullptr) const;
 
   /// Re-applies search-time index knobs (nprobe/ef/reorder_k) without
   /// rebuilding — used by the evaluator's build cache.

@@ -1,10 +1,10 @@
 #include "workload/replay.h"
 
-#include <atomic>
+#include <memory>
 #include <mutex>
 
+#include "common/parallel_executor.h"
 #include "common/stopwatch.h"
-#include "common/thread_pool.h"
 
 namespace vdt {
 
@@ -28,10 +28,9 @@ ReplayResult ReplayWorkload(const Collection& collection,
   if (options.mode == ReplayMode::kMeasured) {
     // Wall-clock replay with `concurrency` workers pulling from a shared
     // queue (the vector-db-benchmark client model).
-    std::atomic<size_t> next{0};
     std::mutex agg_mu;
     Stopwatch timer;
-    ThreadPool pool(static_cast<size_t>(std::max(1, workload.concurrency)));
+    ParallelExecutor pool(static_cast<size_t>(std::max(1, workload.concurrency)));
     pool.ParallelFor(nq, [&](size_t q) {
       WorkCounters local;
       auto hits = collection.Search(workload.queries.Row(q), workload.k, &local);
@@ -40,17 +39,23 @@ ReplayResult ReplayWorkload(const Collection& collection,
       recall_sum += r;
       total.Add(local);
     });
-    (void)next;
     const double wall = timer.ElapsedSeconds();
     result.qps = static_cast<double>(nq) / std::max(1e-9, wall);
     result.replay_seconds = wall;
   } else {
     // Deterministic pass: count work, derive QPS from the machine model.
+    // Queries run as a parallel batch; recall is folded in query order so
+    // the floating-point sum is bit-identical to the sequential loop.
+    std::unique_ptr<ParallelExecutor> dedicated;
+    ParallelExecutor* executor = options.executor;
+    if (executor == nullptr && options.batch_threads > 0) {
+      dedicated = std::make_unique<ParallelExecutor>(options.batch_threads);
+      executor = dedicated.get();
+    }
+    auto batch =
+        collection.SearchBatch(workload.queries, workload.k, &total, executor);
     for (size_t q = 0; q < nq; ++q) {
-      WorkCounters local;
-      auto hits = collection.Search(workload.queries.Row(q), workload.k, &local);
-      recall_sum += RecallAtK(hits, workload.ground_truth[q]);
-      total.Add(local);
+      recall_sum += RecallAtK(batch[q], workload.ground_truth[q]);
     }
     result.qps = ComputeQps(options.cost, total, nq, collection.dim(), stats,
                             system, workload.concurrency);

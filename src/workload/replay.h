@@ -14,6 +14,8 @@
 
 namespace vdt {
 
+class ParallelExecutor;
+
 enum class ReplayMode { kCostModel, kMeasured };
 
 struct ReplayOptions {
@@ -22,6 +24,16 @@ struct ReplayOptions {
   /// Declare the configuration failed when QPS falls below cost.min_qps
   /// (mirrors the paper's 15-minute replay cap).
   bool enforce_timeout = true;
+  /// Executor for the deterministic (kCostModel) batch pass, non-owning;
+  /// must outlive the replay. Takes precedence over batch_threads. Callers
+  /// replaying repeatedly (the evaluator) set this to a long-lived executor
+  /// so the pool is not rebuilt per replay.
+  ParallelExecutor* executor = nullptr;
+  /// When `executor` is null: 0 uses the process-wide ParallelExecutor,
+  /// n > 0 uses a dedicated pool of n threads for this replay (1 is
+  /// effectively sequential). Results are identical either way; only
+  /// wall-clock time changes.
+  size_t batch_threads = 0;
 };
 
 /// Outcome of replaying one workload against one collection configuration.

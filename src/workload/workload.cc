@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
-#include "common/thread_pool.h"
+#include "common/parallel_executor.h"
 
 namespace vdt {
 
@@ -13,7 +13,7 @@ std::vector<std::vector<int64_t>> BuildGroundTruth(const FloatMatrix& data,
                                                    size_t k,
                                                    int num_threads) {
   std::vector<std::vector<int64_t>> truth(queries.rows());
-  ThreadPool pool(static_cast<size_t>(std::max(1, num_threads)));
+  ParallelExecutor pool(static_cast<size_t>(std::max(1, num_threads)));
   pool.ParallelFor(queries.rows(), [&](size_t q) {
     auto hits = BruteForceSearch(data, metric, queries.Row(q), k, nullptr);
     truth[q].reserve(hits.size());

@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
+#include <vector>
 
+#include "common/parallel_executor.h"
 #include "index/auto_index.h"
 #include "index/distance.h"
 #include "index/hnsw_index.h"
@@ -42,6 +45,48 @@ TEST(DistanceTest, NormalizeZeroVectorIsNoop) {
   float z[] = {0, 0, 0};
   NormalizeVector(z, 3);
   EXPECT_FLOAT_EQ(z[0], 0.f);
+}
+
+TEST(DistanceTest, NormalizeNonFiniteVectorIsNoop) {
+  const float inf = std::numeric_limits<float>::infinity();
+  float v[] = {1.f, inf, 2.f};
+  NormalizeVector(v, 3);
+  EXPECT_FLOAT_EQ(v[0], 1.f);  // untouched: no inf/NaN poisoning
+  float w[] = {std::numeric_limits<float>::quiet_NaN(), 1.f};
+  NormalizeVector(w, 2);
+  EXPECT_FLOAT_EQ(w[1], 1.f);
+}
+
+TEST(DistanceTest, KernelsHandleDimNotMultipleOfFour) {
+  // The unrolled kernels process 4 lanes at a time plus a scalar tail; check
+  // every tail length (dim % 4 in {0,1,2,3}) against a naive reference.
+  for (size_t dim = 1; dim <= 9; ++dim) {
+    std::vector<float> a(dim), b(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      a[i] = 0.5f * static_cast<float>(i + 1);
+      b[i] = 2.0f - 0.25f * static_cast<float>(i);
+    }
+    float dot = 0.f, l2 = 0.f;
+    for (size_t i = 0; i < dim; ++i) {
+      dot += a[i] * b[i];
+      const float d = a[i] - b[i];
+      l2 += d * d;
+    }
+    EXPECT_NEAR(DotProduct(a.data(), b.data(), dim), dot, 1e-4f) << dim;
+    EXPECT_NEAR(L2SquaredDistance(a.data(), b.data(), dim), l2, 1e-4f) << dim;
+    EXPECT_NEAR(Distance(Metric::kL2, a.data(), b.data(), dim), l2, 1e-4f);
+    EXPECT_NEAR(Distance(Metric::kInnerProduct, a.data(), b.data(), dim), -dot,
+                1e-4f);
+  }
+}
+
+TEST(DistanceTest, NormalizePreservesDirectionOnOddDims) {
+  for (size_t dim : {3u, 5u, 7u}) {
+    std::vector<float> v(dim);
+    for (size_t i = 0; i < dim; ++i) v[i] = static_cast<float>(i) - 1.5f;
+    NormalizeVector(v.data(), dim);
+    EXPECT_NEAR(Norm(v.data(), dim), 1.f, 1e-5f) << dim;
+  }
 }
 
 TEST(DistanceTest, SmallerDistanceMeansMoreSimilar) {
@@ -205,6 +250,78 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<IndexCase>& info) {
       return IndexTypeName(info.param.type);
     });
+
+// SearchBatch must be a drop-in replacement for the sequential Search loop:
+// identical hits, identical order, identical work counters — on every
+// backend, with a thread pool wider than one.
+class SearchBatchParityTest : public ::testing::TestWithParam<IndexType> {};
+
+TEST_P(SearchBatchParityTest, MatchesSequentialSearch) {
+  const IndexType type = GetParam();
+  const size_t n = 900, dim = 24, k = 10, nq = 37;  // nq not a pool multiple
+  FloatMatrix data = ClusteredMatrix(n, dim, 12, 0.25, 21);
+  FloatMatrix queries = ClusteredMatrix(nq, dim, 12, 0.3, 22);
+
+  IndexParams params;
+  params.nlist = 24;
+  params.nprobe = 6;
+  params.hnsw_m = 12;
+  params.ef_construction = 96;
+  params.ef = 64;
+  params.reorder_k = 80;
+
+  auto index = CreateIndex(type, Metric::kAngular, params, 5);
+  ASSERT_NE(index, nullptr);
+  ASSERT_TRUE(index->Build(data).ok());
+
+  WorkCounters seq_wc;
+  std::vector<std::vector<Neighbor>> expected(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    expected[q] = index->Search(queries.Row(q), k, &seq_wc);
+  }
+
+  ParallelExecutor executor(4);
+  ASSERT_GT(executor.num_threads(), 1u);
+  WorkCounters batch_wc;
+  auto batch = index->SearchBatch(queries, k, &batch_wc, &executor);
+
+  ASSERT_EQ(batch.size(), nq);
+  for (size_t q = 0; q < nq; ++q) {
+    ASSERT_EQ(batch[q].size(), expected[q].size()) << "query " << q;
+    for (size_t i = 0; i < batch[q].size(); ++i) {
+      EXPECT_EQ(batch[q][i].id, expected[q][i].id) << "query " << q;
+      EXPECT_EQ(batch[q][i].distance, expected[q][i].distance) << "query " << q;
+    }
+  }
+  EXPECT_EQ(batch_wc.Total(), seq_wc.Total());
+  EXPECT_EQ(batch_wc.full_distance_evals, seq_wc.full_distance_evals);
+  EXPECT_EQ(batch_wc.graph_hops, seq_wc.graph_hops);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SearchBatchParityTest,
+                         ::testing::Values(IndexType::kFlat,
+                                           IndexType::kIvfFlat,
+                                           IndexType::kHnsw,
+                                           IndexType::kScann),
+                         [](const ::testing::TestParamInfo<IndexType>& info) {
+                           return IndexTypeName(info.param);
+                         });
+
+TEST(SearchBatchTest, UsesGlobalExecutorByDefault) {
+  FloatMatrix data = RandomMatrix(200, 16, 31);
+  auto index = CreateIndex(IndexType::kFlat, Metric::kAngular, {}, 1);
+  ASSERT_TRUE(index->Build(data).ok());
+  FloatMatrix queries = RandomMatrix(9, 16, 32);
+  auto batch = index->SearchBatch(queries, 5, nullptr);
+  ASSERT_EQ(batch.size(), 9u);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    auto expected = index->Search(queries.Row(q), 5, nullptr);
+    ASSERT_EQ(batch[q].size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(batch[q][i].id, expected[i].id);
+    }
+  }
+}
 
 TEST(FlatIndexTest, PerfectRecallAlways) {
   FloatMatrix data = RandomMatrix(300, 16, 9);

@@ -380,7 +380,9 @@ TEST(VdTunerTest, ScoreLogTracksRemainingTypes) {
     for (double s : scores) finite += std::isfinite(s) ? 1 : 0;
     EXPECT_GE(finite, 1);
     for (double s : scores) {
-      if (std::isfinite(s)) EXPECT_GE(s, -1e-9);  // Eq. 6 is non-negative
+      if (std::isfinite(s)) {
+        EXPECT_GE(s, -1e-9);  // Eq. 6 is non-negative
+      }
     }
   }
 }

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "common/parallel_executor.h"
 #include "tests/test_util.h"
 #include "vdms/memory_model.h"
 #include "vdms/vdms.h"
@@ -118,6 +119,35 @@ TEST(CollectionTest, SearchCoversBufferAndGrowing) {
   auto hits = coll.Search(data.Row(999), 1, nullptr);
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0].id, 999);
+}
+
+TEST(CollectionTest, SearchBatchMatchesSequentialAcrossSegmentsAndBuffer) {
+  // Spread data across sealed segments, growing segment, and insert buffer
+  // so the batch path exercises every tier of the merged search.
+  CollectionOptions opts = SmallOptions(500);
+  Collection c(opts);
+  FloatMatrix data = ClusteredMatrix(500, 16, 8, 0.25, 51);
+  ASSERT_TRUE(c.Insert(data).ok());  // no Flush: buffer/growing stay populated
+
+  FloatMatrix queries = ClusteredMatrix(23, 16, 8, 0.3, 52);
+  WorkCounters seq_wc;
+  std::vector<std::vector<Neighbor>> expected(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    expected[q] = c.Search(queries.Row(q), 7, &seq_wc);
+  }
+
+  ParallelExecutor executor(4);
+  WorkCounters batch_wc;
+  auto batch = c.SearchBatch(queries, 7, &batch_wc, &executor);
+  ASSERT_EQ(batch.size(), queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_EQ(batch[q].size(), expected[q].size()) << "query " << q;
+    for (size_t i = 0; i < batch[q].size(); ++i) {
+      EXPECT_EQ(batch[q][i].id, expected[q][i].id) << "query " << q;
+      EXPECT_EQ(batch[q][i].distance, expected[q][i].distance);
+    }
+  }
+  EXPECT_EQ(batch_wc.Total(), seq_wc.Total());
 }
 
 TEST(CollectionTest, FailedIndexBuildSurfacesError) {
