@@ -82,4 +82,30 @@ ParallelExecutor& ParallelExecutor::Global() {
   return *executor;
 }
 
+void ParallelChunks(ParallelExecutor* executor, size_t n, size_t chunk_size,
+                    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  chunk_size = std::max<size_t>(1, chunk_size);
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  auto run_chunk = [&](size_t c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    fn(c, begin, end);
+  };
+  if (executor == nullptr) {
+    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    return;
+  }
+  executor->ParallelFor(num_chunks, run_chunk);
+}
+
+void ParallelForOrInline(ParallelExecutor* executor, size_t n,
+                         const std::function<void(size_t)>& fn) {
+  if (executor == nullptr) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  executor->ParallelFor(n, fn);
+}
+
 }  // namespace vdt

@@ -45,6 +45,24 @@ class ParallelExecutor {
   std::unique_ptr<ThreadPool> pool_;
 };
 
+/// The chunked engine behind the parallel index builds: splits [0, n) into
+/// fixed-size chunks of `chunk_size` items and runs
+/// `fn(chunk_index, begin, end)` for each. The chunk grid depends only on
+/// (n, chunk_size) — never on the executor or its width — so per-chunk
+/// accumulations merged in chunk-index order are bit-identical no matter how
+/// many threads run the chunks (or whether `executor` is null, which runs
+/// the chunks inline in index order). `fn` must only touch state owned by
+/// its chunk.
+void ParallelChunks(ParallelExecutor* executor, size_t n, size_t chunk_size,
+                    const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// Runs fn(i) for i in [0, n): inline in index order when `executor` is
+/// null, sharded one-per-task across it otherwise. The shared dispatch
+/// behind every optionally-parallel build pass whose items are independent
+/// (per-list encodes, per-subspace codebooks, per-node candidate searches).
+void ParallelForOrInline(ParallelExecutor* executor, size_t n,
+                         const std::function<void(size_t)>& fn);
+
 }  // namespace vdt
 
 #endif  // VDTUNER_COMMON_PARALLEL_EXECUTOR_H_

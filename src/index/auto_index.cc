@@ -10,15 +10,19 @@ constexpr size_t kFlatThreshold = 512;  // below this, brute force is best
 }  // namespace
 
 Status AutoIndex::Build(const FloatMatrix& data) {
-  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (data.empty()) {
+    return Status::InvalidArgument("AUTOINDEX build: empty data");
+  }
   if (data.rows() < kFlatThreshold) {
     delegate_ = std::make_unique<FlatIndex>(metric_);
   } else {
-    // Milvus' AUTOINDEX is a pre-tuned HNSW profile.
+    // Milvus' AUTOINDEX is a pre-tuned HNSW profile; only the build
+    // parallelism knob passes through.
     IndexParams params;
     params.hnsw_m = 16;
     params.ef_construction = 128;
     params.ef = 64;
+    params.build_threads = build_threads_;
     delegate_ = std::make_unique<HnswIndex>(metric_, params, seed_);
   }
   return delegate_->Build(data);

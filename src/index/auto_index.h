@@ -12,7 +12,10 @@ namespace vdt {
 
 class AutoIndex : public VectorIndex {
  public:
-  AutoIndex(Metric metric, uint64_t seed) : metric_(metric), seed_(seed) {}
+  /// `build_threads` passes through to the delegate's build (see
+  /// IndexParams::build_threads); AUTOINDEX exposes no other knobs.
+  AutoIndex(Metric metric, uint64_t seed, int build_threads = 0)
+      : metric_(metric), seed_(seed), build_threads_(build_threads) {}
 
   Status Build(const FloatMatrix& data) override;
   std::vector<Neighbor> Search(const float* query, size_t k,
@@ -27,6 +30,7 @@ class AutoIndex : public VectorIndex {
  private:
   Metric metric_;
   uint64_t seed_;
+  int build_threads_;
   std::unique_ptr<VectorIndex> delegate_;
 };
 

@@ -3,7 +3,7 @@
 namespace vdt {
 
 Status FlatIndex::Build(const FloatMatrix& data) {
-  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (data.empty()) return Status::InvalidArgument("FLAT build: empty data");
   data_ = &data;
   return Status::OK();
 }

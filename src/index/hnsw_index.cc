@@ -4,10 +4,21 @@
 #include <cassert>
 #include <cmath>
 #include <queue>
+#include <string>
 
+#include "common/parallel_executor.h"
 #include "index/topk.h"
 
 namespace vdt {
+
+namespace {
+/// Nodes whose candidate searches run concurrently against one graph
+/// snapshot in the batched build. Fixed (never derived from the executor
+/// width) so the built graph is identical for any thread count; nodes within
+/// one batch do not see each other, which is the only difference from the
+/// sequential (batch = 1) insertion order.
+constexpr size_t kBuildBatch = 16;
+}  // namespace
 
 float HnswIndex::Dist(const float* query, uint32_t id,
                       WorkCounters* counters) const {
@@ -103,90 +114,120 @@ std::vector<uint32_t> HnswIndex::SelectNeighbors(
 }
 
 Status HnswIndex::Build(const FloatMatrix& data) {
-  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (data.empty()) return Status::InvalidArgument("HNSW build: empty data");
   if (params_.hnsw_m < 2 || params_.hnsw_m > 512) {
-    return Status::InvalidArgument("hnsw M out of range [2, 512]");
+    return Status::InvalidArgument("HNSW build: M out of range [2, 512] (got " +
+                                   std::to_string(params_.hnsw_m) + ")");
   }
   if (params_.ef_construction < 8) {
-    return Status::InvalidArgument("efConstruction must be >= 8");
+    return Status::InvalidArgument(
+        "HNSW build: efConstruction must be >= 8 (got " +
+        std::to_string(params_.ef_construction) + ")");
   }
   data_ = &data;
   const size_t n = data.rows();
 
+  ParallelExecutor* executor = ResolveBuildExecutor(params_.build_threads);
+  // Batch width 1 reproduces the classic sequential insertion bit-for-bit
+  // (a node's own commits are invisible to its lower-layer searches, so
+  // search-then-commit per node equals the interleaved order). Any other
+  // width runs the fixed kBuildBatch snapshot batching.
+  const size_t batch = executor == nullptr ? 1 : kBuildBatch;
+
+  // Exponentially distributed level draws, up front: levels are the build's
+  // only random draws, so this is the same stream the per-node draw used.
+  Rng rng(seed_);
+  const double mult = 1.0 / std::log(static_cast<double>(params_.hnsw_m));
   node_level_.assign(n, 0);
   links0_.assign(n, {});
   upper_.assign(n, {});
-  max_level_ = -1;
-
-  Rng rng(seed_);
-  const double mult = 1.0 / std::log(static_cast<double>(params_.hnsw_m));
-  const size_t ef_c = static_cast<size_t>(params_.ef_construction);
-
-  for (uint32_t i = 0; i < n; ++i) {
-    // Exponentially distributed level draw.
+  for (size_t i = 0; i < n; ++i) {
     double u = rng.Uniform();
     while (u <= 1e-300) u = rng.Uniform();
-    const int level =
-        static_cast<int>(std::floor(-std::log(u) * mult));
+    const int level = static_cast<int>(std::floor(-std::log(u) * mult));
     node_level_[i] = level;
     upper_[i].assign(static_cast<size_t>(level), {});
+  }
 
-    if (max_level_ < 0) {
-      // First node becomes the entry point.
-      entry_ = i;
-      max_level_ = level;
-      continue;
-    }
+  // First node becomes the entry point.
+  entry_ = 0;
+  max_level_ = node_level_[0];
 
-    const float* q = data.Row(i);
-    uint32_t ep = entry_;
+  const size_t ef_c = static_cast<size_t>(params_.ef_construction);
+  for (size_t batch_begin = 1; batch_begin < n; batch_begin += batch) {
+    const size_t batch_end = std::min(n, batch_begin + batch);
+    const size_t batch_n = batch_end - batch_begin;
 
-    // Greedy descent through layers above the node's level.
-    for (int lc = max_level_; lc > level; --lc) {
-      bool improved = true;
-      float d_ep = Dist(q, ep, nullptr);
-      while (improved) {
-        improved = false;
-        for (uint32_t nb : LinksAt(ep, lc)) {
-          const float d = Dist(q, nb, nullptr);
-          if (d < d_ep) {
-            d_ep = d;
-            ep = nb;
-            improved = true;
+    // Search phase: per-level candidate lists for every batch node against
+    // the current graph, which no one mutates until the commit phase.
+    // plans[j][lc] = candidates of node batch_begin + j at layer lc.
+    std::vector<std::vector<std::vector<Neighbor>>> plans(batch_n);
+    auto search_node = [&](size_t j) {
+      const uint32_t i = static_cast<uint32_t>(batch_begin + j);
+      const float* q = data.Row(i);
+      const int level = node_level_[i];
+      uint32_t ep = entry_;
+
+      // Greedy descent through layers above the node's level.
+      for (int lc = max_level_; lc > level; --lc) {
+        bool improved = true;
+        float d_ep = Dist(q, ep, nullptr);
+        while (improved) {
+          improved = false;
+          for (uint32_t nb : LinksAt(ep, lc)) {
+            const float d = Dist(q, nb, nullptr);
+            if (d < d_ep) {
+              d_ep = d;
+              ep = nb;
+              improved = true;
+            }
           }
         }
       }
-    }
 
-    // Connect at each layer from min(level, max_level_) down to 0.
-    for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
-      std::vector<Neighbor> nearest = SearchLayer(q, ep, ef_c, lc, nullptr);
-      const size_t max_m = MaxDegree(lc);
-      std::vector<uint32_t> neighbors = SelectNeighbors(q, nearest, max_m);
-      LinksAt(i, lc) = neighbors;
+      auto& per_level = plans[j];
+      per_level.resize(static_cast<size_t>(std::min(level, max_level_)) + 1);
+      for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
+        std::vector<Neighbor> nearest = SearchLayer(q, ep, ef_c, lc, nullptr);
+        if (!nearest.empty()) ep = static_cast<uint32_t>(nearest.front().id);
+        per_level[lc] = std::move(nearest);
+      }
+    };
+    ParallelForOrInline(executor, batch_n, search_node);
 
-      // Bidirectional connections with degree-bounded pruning.
-      for (uint32_t nb : neighbors) {
-        std::vector<uint32_t>& back = LinksAt(nb, lc);
-        back.push_back(i);
-        if (back.size() > max_m) {
-          std::vector<Neighbor> cands;
-          cands.reserve(back.size());
-          for (uint32_t b : back) {
-            cands.push_back({static_cast<int64_t>(b),
-                             Distance(metric_, data.Row(nb), data.Row(b),
-                                      data.dim())});
+    // Commit phase: sequential, in node order — the graph mutations below
+    // are the only writes, so the build is deterministic for any width.
+    for (size_t j = 0; j < batch_n; ++j) {
+      const uint32_t i = static_cast<uint32_t>(batch_begin + j);
+      const float* q = data.Row(i);
+      const auto& per_level = plans[j];
+      for (int lc = static_cast<int>(per_level.size()) - 1; lc >= 0; --lc) {
+        const std::vector<Neighbor>& nearest = per_level[lc];
+        const size_t max_m = MaxDegree(lc);
+        std::vector<uint32_t> neighbors = SelectNeighbors(q, nearest, max_m);
+        LinksAt(i, lc) = neighbors;
+
+        // Bidirectional connections with degree-bounded pruning.
+        for (uint32_t nb : neighbors) {
+          std::vector<uint32_t>& back = LinksAt(nb, lc);
+          back.push_back(i);
+          if (back.size() > max_m) {
+            std::vector<Neighbor> cands;
+            cands.reserve(back.size());
+            for (uint32_t b : back) {
+              cands.push_back({static_cast<int64_t>(b),
+                               Distance(metric_, data.Row(nb), data.Row(b),
+                                        data.dim())});
+            }
+            std::sort(cands.begin(), cands.end());
+            back = SelectNeighbors(data.Row(nb), cands, max_m);
           }
-          std::sort(cands.begin(), cands.end());
-          back = SelectNeighbors(data.Row(nb), cands, max_m);
         }
       }
-      if (!nearest.empty()) ep = static_cast<uint32_t>(nearest.front().id);
-    }
-
-    if (level > max_level_) {
-      entry_ = i;
-      max_level_ = level;
+      if (node_level_[i] > max_level_) {
+        entry_ = i;
+        max_level_ = node_level_[i];
+      }
     }
   }
   return Status::OK();

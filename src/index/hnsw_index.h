@@ -1,6 +1,13 @@
 // HNSW: Hierarchical Navigable Small World graph (Malkov & Yashunin, TPAMI
 // 2018; paper Table I). Build parameters: M (graph degree), efConstruction
 // (build beam width). Search parameter: ef (query beam width).
+//
+// Construction is parallel when params.build_threads != 1: nodes insert in
+// fixed-size batches whose candidate searches run concurrently against a
+// graph snapshot, followed by a sequential commit in node order. The graph
+// is deterministic for any executor width; it differs from the sequential
+// (build_threads == 1) graph only in that same-batch nodes do not link to
+// each other, which preserves recall within test tolerance.
 #ifndef VDTUNER_INDEX_HNSW_INDEX_H_
 #define VDTUNER_INDEX_HNSW_INDEX_H_
 

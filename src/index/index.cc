@@ -1,5 +1,7 @@
 #include "index/index.h"
 
+#include <map>
+#include <mutex>
 #include <sstream>
 
 #include "common/parallel_executor.h"
@@ -69,9 +71,31 @@ std::string BuildSignature(IndexType type, const IndexParams& params) {
       break;
     case IndexType::kHnsw:
       os << "/M=" << params.hnsw_m << "/efC=" << params.ef_construction;
+      // The sequential (build_threads == 1) and batched builds produce
+      // different — both valid — graphs, so the *mode* is build-affecting
+      // for HNSW. The batched graph is width-independent, so the width
+      // itself still is not part of the signature.
+      if (params.build_threads == 1) os << "/seq";
       break;
   }
   return os.str();
+}
+
+ParallelExecutor* ResolveBuildExecutor(int build_threads) {
+  if (build_threads == 1) return nullptr;
+  if (build_threads <= 0) return &ParallelExecutor::Global();
+  // One long-lived pool per requested width (callers use a handful of
+  // widths at most), so back-to-back segment seals share threads.
+  static std::mutex mu;
+  static std::map<int, std::unique_ptr<ParallelExecutor>>* pools =
+      new std::map<int, std::unique_ptr<ParallelExecutor>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& pool = (*pools)[build_threads];
+  if (pool == nullptr) {
+    pool = std::make_unique<ParallelExecutor>(
+        static_cast<size_t>(build_threads));
+  }
+  return pool.get();
 }
 
 std::vector<std::vector<Neighbor>> ParallelSearchBatch(

@@ -49,6 +49,16 @@ struct IndexParams {
   // SCANN.
   int reorder_k = 200;  // exact re-ranking candidate count
 
+  /// Worker threads for Build(): 0 = the process-wide ParallelExecutor
+  /// (sized by VDT_THREADS, like SearchBatch), 1 = sequential, n > 1 = a
+  /// shared pool of that width. Not a tuned parameter. The kmeans-family
+  /// builds are bit-identical for every width, so BuildSignature() ignores
+  /// this knob for them; HNSW builds a different (equally valid) graph in
+  /// sequential (1) vs batched (everything else) mode — see
+  /// HnswIndex::Build — so for HNSW the signature records the mode (never
+  /// the width).
+  int build_threads = 0;
+
   std::string ToString() const;
 };
 
@@ -94,8 +104,23 @@ class VectorIndex {
 
   /// Builds the index over `data` (copied or referenced internally; `data`
   /// must outlive the index). Returns InvalidArgument for infeasible
-  /// parameters (e.g. PQ m not dividing dim) — the evaluator surfaces these
-  /// as failed configurations, mirroring the paper's crash handling.
+  /// parameters (e.g. PQ m not dividing dim) — the error message names the
+  /// index type and the offending parameter, and the evaluator surfaces
+  /// these as failed configurations, mirroring the paper's crash handling.
+  ///
+  /// Threading contract: Build() shards its heavy passes across the executor
+  /// selected by IndexParams::build_threads (see ResolveBuildExecutor). It
+  /// is NOT safe to call Build() concurrently on one index, or to Search()
+  /// an index whose Build() has not returned.
+  ///
+  /// Determinism contract: given the same (data, params, seed), the built
+  /// structures are bit-identical for every build_threads value on the
+  /// kmeans-family indexes (IVF_FLAT/SQ8/PQ, SCANN) and on FLAT — every
+  /// parallel pass runs over a fixed chunk grid with per-chunk partials
+  /// merged in chunk order. HNSW is deterministic for any executor width,
+  /// but its batched graph (build_threads != 1) differs from the sequential
+  /// one (build_threads == 1) by design; the two are recall-equivalent
+  /// within test tolerance.
   virtual Status Build(const FloatMatrix& data) = 0;
 
   /// Exact/approximate top-k for `query`; results sorted by distance
@@ -105,10 +130,14 @@ class VectorIndex {
 
   /// Top-k for every row of `queries`; result i corresponds to
   /// queries.Row(i). Queries are sharded one-per-task across `executor`
-  /// (ParallelExecutor::Global() when null). Search() is const and
-  /// side-effect-free on every backend, so results and the counter
-  /// aggregate are identical to calling Search() sequentially in row
-  /// order, independent of thread count and scheduling.
+  /// (ParallelExecutor::Global() when null).
+  ///
+  /// Thread-safety contract: Search() is const and side-effect-free on
+  /// every backend once Build() has returned, so SearchBatch may run any
+  /// number of queries concurrently — results and the counter aggregate are
+  /// identical to calling Search() sequentially in row order, independent
+  /// of thread count and scheduling. UpdateSearchParams() must not run
+  /// concurrently with searches.
   virtual std::vector<std::vector<Neighbor>> SearchBatch(
       const FloatMatrix& queries, size_t k, WorkCounters* counters,
       ParallelExecutor* executor = nullptr) const;
@@ -142,8 +171,17 @@ std::vector<std::vector<Neighbor>> ParallelSearchBatch(
         search_one,
     WorkCounters* counters, ParallelExecutor* executor);
 
+/// Resolves the executor a Build() should shard its passes across from
+/// IndexParams::build_threads: 0 returns the process-wide
+/// ParallelExecutor::Global() (sized by VDT_THREADS), 1 returns null (run
+/// inline), and n > 1 returns a process-wide n-thread pool shared by every
+/// build that asks for that width (constructed on first use and kept alive,
+/// so repeated segment seals never pay thread create/join churn).
+ParallelExecutor* ResolveBuildExecutor(int build_threads);
+
 /// Creates an index of `type` with `params` over `metric`. `seed` controls
-/// k-means and HNSW level draws. AUTOINDEX ignores params and picks its own.
+/// k-means and HNSW level draws. AUTOINDEX ignores the tunable params and
+/// picks its own (only params.build_threads is honored).
 std::unique_ptr<VectorIndex> CreateIndex(IndexType type, Metric metric,
                                          const IndexParams& params,
                                          uint64_t seed);

@@ -3,15 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "common/parallel_executor.h"
+#include "index/sq8.h"
 #include "index/topk.h"
 
 namespace vdt {
 
 Status IvfBaseIndex::Build(const FloatMatrix& data) {
-  if (data.empty()) return Status::InvalidArgument("empty data");
-  if (params_.nlist < 1) return Status::InvalidArgument("nlist must be >= 1");
+  if (data.empty()) {
+    return Status::InvalidArgument(std::string(Name()) +
+                                   " build: empty data");
+  }
+  if (params_.nlist < 1) {
+    return Status::InvalidArgument(std::string(Name()) +
+                                   " build: nlist must be >= 1 (got " +
+                                   std::to_string(params_.nlist) + ")");
+  }
   data_ = &data;
+
+  ParallelExecutor* executor = ResolveBuildExecutor(params_.build_threads);
 
   // Milvus requires nlist <= n; clamp rather than fail so small sealed
   // segments remain indexable under large-nlist configurations.
@@ -20,14 +32,11 @@ Status IvfBaseIndex::Build(const FloatMatrix& data) {
 
   KMeansOptions kopts;
   kopts.seed = seed_;
+  kopts.executor = executor;
   KMeansResult km = KMeansCluster(data, nlist, kopts);
   centroids_ = std::move(km.centroids);
-
-  list_ids_.assign(centroids_.rows(), {});
-  for (size_t i = 0; i < data.rows(); ++i) {
-    list_ids_[km.assignments[i]].push_back(static_cast<int64_t>(i));
-  }
-  return EncodeLists(data);
+  list_ids_ = BucketByAssignment(km.assignments, centroids_.rows(), executor);
+  return EncodeLists(data, executor);
 }
 
 std::vector<int32_t> IvfBaseIndex::ProbeLists(const float* query,
@@ -73,36 +82,10 @@ size_t IvfFlatIndex::MemoryBytes() const {
 
 // ----------------------------------------------------------------- IVF_SQ8
 
-Status IvfSq8Index::EncodeLists(const FloatMatrix& data) {
-  const size_t dim = data.dim();
-  vmin_.assign(dim, std::numeric_limits<float>::max());
-  std::vector<float> vmax(dim, std::numeric_limits<float>::lowest());
-  for (size_t i = 0; i < data.rows(); ++i) {
-    const float* row = data.Row(i);
-    for (size_t d = 0; d < dim; ++d) {
-      vmin_[d] = std::min(vmin_[d], row[d]);
-      vmax[d] = std::max(vmax[d], row[d]);
-    }
-  }
-  vscale_.resize(dim);
-  for (size_t d = 0; d < dim; ++d) {
-    vscale_[d] = (vmax[d] - vmin_[d]) / 255.0f;
-    if (vscale_[d] <= 0.f) vscale_[d] = 1e-12f;
-  }
-
-  list_codes_.resize(list_ids_.size());
-  for (size_t l = 0; l < list_ids_.size(); ++l) {
-    list_codes_[l].resize(list_ids_[l].size() * dim);
-    for (size_t j = 0; j < list_ids_[l].size(); ++j) {
-      const float* row = data.Row(list_ids_[l][j]);
-      uint8_t* code = &list_codes_[l][j * dim];
-      for (size_t d = 0; d < dim; ++d) {
-        const float q = (row[d] - vmin_[d]) / vscale_[d];
-        code[d] = static_cast<uint8_t>(
-            std::clamp(q + 0.5f, 0.0f, 255.0f));
-      }
-    }
-  }
+Status IvfSq8Index::EncodeLists(const FloatMatrix& data,
+                                ParallelExecutor* executor) {
+  FitSq8Range(data, executor, &vmin_, &vscale_);
+  EncodeSq8Lists(data, list_ids_, vmin_, vscale_, executor, &list_codes_);
   return Status::OK();
 }
 
@@ -149,23 +132,34 @@ size_t IvfSq8Index::MemoryBytes() const {
 
 // ------------------------------------------------------------------ IVF_PQ
 
-Status IvfPqIndex::EncodeLists(const FloatMatrix& data) {
+Status IvfPqIndex::EncodeLists(const FloatMatrix& data,
+                               ParallelExecutor* executor) {
   const size_t dim = data.dim();
-  if (params_.m < 1) return Status::InvalidArgument("pq m must be >= 1");
+  if (params_.m < 1) {
+    return Status::InvalidArgument("IVF_PQ build: m must be >= 1 (got " +
+                                   std::to_string(params_.m) + ")");
+  }
   if (dim % static_cast<size_t>(params_.m) != 0) {
-    return Status::InvalidArgument("pq m must divide the vector dimension");
+    return Status::InvalidArgument(
+        "IVF_PQ build: m must divide the vector dimension (m=" +
+        std::to_string(params_.m) + ", dim=" + std::to_string(dim) + ")");
   }
   if (params_.nbits < 4 || params_.nbits > 12) {
-    return Status::InvalidArgument("pq nbits must be in [4, 12]");
+    return Status::InvalidArgument(
+        "IVF_PQ build: nbits must be in [4, 12] (got " +
+        std::to_string(params_.nbits) + ")");
   }
   const size_t m = static_cast<size_t>(params_.m);
   dsub_ = dim / m;
   ksub_ = 1 << params_.nbits;
 
-  // Train one codebook per subspace on the subvectors.
+  // Train one codebook per subspace, one task per subspace: each writes a
+  // disjoint codebook slice and a disjoint stride of assign_all, and seeds
+  // are per-subspace, so the result never depends on scheduling. The nested
+  // KMeansCluster calls run their chunks inline on worker threads.
   codebooks_ = FloatMatrix(m * ksub_, dsub_);
   std::vector<uint16_t> assign_all(data.rows() * m);
-  for (size_t s = 0; s < m; ++s) {
+  auto train_subspace = [&](size_t s) {
     FloatMatrix sub(data.rows(), dsub_);
     for (size_t i = 0; i < data.rows(); ++i) {
       std::copy_n(data.Row(i) + s * dsub_, dsub_, sub.Row(i));
@@ -173,6 +167,7 @@ Status IvfPqIndex::EncodeLists(const FloatMatrix& data) {
     KMeansOptions kopts;
     kopts.seed = seed_ + 7919 * (s + 1);
     kopts.max_iters = 8;
+    kopts.executor = executor;
     KMeansResult km = KMeansCluster(sub, ksub_, kopts);
     // Copy trained codewords; clusters beyond km size stay zero.
     for (size_t c = 0; c < km.centroids.rows(); ++c) {
@@ -181,16 +176,19 @@ Status IvfPqIndex::EncodeLists(const FloatMatrix& data) {
     for (size_t i = 0; i < data.rows(); ++i) {
       assign_all[i * m + s] = static_cast<uint16_t>(km.assignments[i]);
     }
-  }
+  };
+  ParallelForOrInline(executor, m, train_subspace);
 
+  // Per-list code gather, one task per list.
   list_codes_.resize(list_ids_.size());
-  for (size_t l = 0; l < list_ids_.size(); ++l) {
+  auto encode_list = [&](size_t l) {
     list_codes_[l].resize(list_ids_[l].size() * m);
     for (size_t j = 0; j < list_ids_[l].size(); ++j) {
       const int64_t id = list_ids_[l][j];
       std::copy_n(&assign_all[id * m], m, &list_codes_[l][j * m]);
     }
-  }
+  };
+  ParallelForOrInline(executor, list_ids_.size(), encode_list);
   return Status::OK();
 }
 

@@ -30,8 +30,12 @@ class IvfBaseIndex : public VectorIndex {
   }
 
  protected:
-  /// Hook: encode the per-list payload after coarse clustering.
-  virtual Status EncodeLists(const FloatMatrix& data) = 0;
+  /// Hook: encode the per-list payload after coarse clustering. `executor`
+  /// is the build executor resolved from params_.build_threads (null = run
+  /// inline); implementations must keep the encoded payload bit-identical
+  /// for every executor width.
+  virtual Status EncodeLists(const FloatMatrix& data,
+                             ParallelExecutor* executor) = 0;
 
   /// Returns the nprobe nearest list ids for `query` (adds coarse work).
   std::vector<int32_t> ProbeLists(const float* query,
@@ -56,7 +60,9 @@ class IvfFlatIndex : public IvfBaseIndex {
   IndexType type() const override { return IndexType::kIvfFlat; }
 
  protected:
-  Status EncodeLists(const FloatMatrix&) override { return Status::OK(); }
+  Status EncodeLists(const FloatMatrix&, ParallelExecutor*) override {
+    return Status::OK();
+  }
 };
 
 /// IVF_SQ8: probed cells are scored on 8-bit scalar-quantized codes
@@ -71,7 +77,8 @@ class IvfSq8Index : public IvfBaseIndex {
   IndexType type() const override { return IndexType::kIvfSq8; }
 
  protected:
-  Status EncodeLists(const FloatMatrix& data) override;
+  Status EncodeLists(const FloatMatrix& data,
+                     ParallelExecutor* executor) override;
 
  private:
   /// Per-dimension affine dequantization: value = vmin[d] + code * vscale[d].
@@ -92,7 +99,8 @@ class IvfPqIndex : public IvfBaseIndex {
   IndexType type() const override { return IndexType::kIvfPq; }
 
  protected:
-  Status EncodeLists(const FloatMatrix& data) override;
+  Status EncodeLists(const FloatMatrix& data,
+                     ParallelExecutor* executor) override;
 
  private:
   int ksub_ = 0;        // 2^nbits codewords per subspace

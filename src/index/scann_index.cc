@@ -2,56 +2,40 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
+#include "common/parallel_executor.h"
+#include "index/sq8.h"
 #include "index/topk.h"
 
 namespace vdt {
 
 Status ScannIndex::Build(const FloatMatrix& data) {
-  if (data.empty()) return Status::InvalidArgument("empty data");
-  if (params_.nlist < 1) return Status::InvalidArgument("nlist must be >= 1");
+  if (data.empty()) {
+    return Status::InvalidArgument("SCANN build: empty data");
+  }
+  if (params_.nlist < 1) {
+    return Status::InvalidArgument(
+        "SCANN build: nlist must be >= 1 (got " +
+        std::to_string(params_.nlist) + ")");
+  }
   data_ = &data;
-  const size_t dim = data.dim();
   const size_t nlist =
       std::min<size_t>(static_cast<size_t>(params_.nlist), data.rows());
 
+  ParallelExecutor* executor = ResolveBuildExecutor(params_.build_threads);
+
+  // Partitioning: parallel chunked k-means + deterministic scatter.
   KMeansOptions kopts;
   kopts.seed = seed_ + 17;
+  kopts.executor = executor;
   KMeansResult km = KMeansCluster(data, nlist, kopts);
   centroids_ = std::move(km.centroids);
-  list_ids_.assign(centroids_.rows(), {});
-  for (size_t i = 0; i < data.rows(); ++i) {
-    list_ids_[km.assignments[i]].push_back(static_cast<int64_t>(i));
-  }
+  list_ids_ = BucketByAssignment(km.assignments, centroids_.rows(), executor);
 
-  // Global per-dimension SQ8 quantizer.
-  vmin_.assign(dim, std::numeric_limits<float>::max());
-  std::vector<float> vmax(dim, std::numeric_limits<float>::lowest());
-  for (size_t i = 0; i < data.rows(); ++i) {
-    const float* row = data.Row(i);
-    for (size_t d = 0; d < dim; ++d) {
-      vmin_[d] = std::min(vmin_[d], row[d]);
-      vmax[d] = std::max(vmax[d], row[d]);
-    }
-  }
-  vscale_.resize(dim);
-  for (size_t d = 0; d < dim; ++d) {
-    vscale_[d] = (vmax[d] - vmin_[d]) / 255.0f;
-    if (vscale_[d] <= 0.f) vscale_[d] = 1e-12f;
-  }
-
-  list_codes_.resize(list_ids_.size());
-  for (size_t l = 0; l < list_ids_.size(); ++l) {
-    list_codes_[l].resize(list_ids_[l].size() * dim);
-    for (size_t j = 0; j < list_ids_[l].size(); ++j) {
-      const float* row = data.Row(list_ids_[l][j]);
-      uint8_t* code = &list_codes_[l][j * dim];
-      for (size_t d = 0; d < dim; ++d) {
-        const float q = (row[d] - vmin_[d]) / vscale_[d];
-        code[d] = static_cast<uint8_t>(std::clamp(q + 0.5f, 0.0f, 255.0f));
-      }
-    }
-  }
+  // Quantization: global per-dimension SQ8 range + per-list codes.
+  FitSq8Range(data, executor, &vmin_, &vscale_);
+  EncodeSq8Lists(data, list_ids_, vmin_, vscale_, executor, &list_codes_);
   return Status::OK();
 }
 

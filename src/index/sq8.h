@@ -1,0 +1,82 @@
+// Shared 8-bit scalar quantization used by IVF_SQ8 and SCANN: a global
+// per-dimension affine quantizer (value = vmin[d] + code * vscale[d]) plus
+// the per-list code layout. Both passes shard across the build executor on
+// the fixed chunk grid, so the codes are bit-identical for any width.
+#ifndef VDTUNER_INDEX_SQ8_H_
+#define VDTUNER_INDEX_SQ8_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/float_matrix.h"
+#include "common/parallel_executor.h"
+
+namespace vdt {
+
+/// Fits the per-dimension [vmin, vmin + 255 * vscale] range over all rows of
+/// `data`. Per-chunk min/max partials merge in chunk order (min/max is
+/// order-independent, so this is exact for any executor width).
+inline void FitSq8Range(const FloatMatrix& data, ParallelExecutor* executor,
+                        std::vector<float>* vmin, std::vector<float>* vscale) {
+  const size_t dim = data.dim();
+  constexpr size_t kChunk = 1024;
+  const size_t num_chunks = (data.rows() + kChunk - 1) / kChunk;
+  std::vector<std::vector<float>> chunk_min(num_chunks), chunk_max(num_chunks);
+  ParallelChunks(executor, data.rows(), kChunk,
+                 [&](size_t chunk, size_t begin, size_t end) {
+                   std::vector<float>& lo = chunk_min[chunk];
+                   std::vector<float>& hi = chunk_max[chunk];
+                   lo.assign(dim, std::numeric_limits<float>::max());
+                   hi.assign(dim, std::numeric_limits<float>::lowest());
+                   for (size_t i = begin; i < end; ++i) {
+                     const float* row = data.Row(i);
+                     for (size_t d = 0; d < dim; ++d) {
+                       lo[d] = std::min(lo[d], row[d]);
+                       hi[d] = std::max(hi[d], row[d]);
+                     }
+                   }
+                 });
+  vmin->assign(dim, std::numeric_limits<float>::max());
+  std::vector<float> vmax(dim, std::numeric_limits<float>::lowest());
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    for (size_t d = 0; d < dim; ++d) {
+      (*vmin)[d] = std::min((*vmin)[d], chunk_min[chunk][d]);
+      vmax[d] = std::max(vmax[d], chunk_max[chunk][d]);
+    }
+  }
+  vscale->resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    (*vscale)[d] = (vmax[d] - (*vmin)[d]) / 255.0f;
+    if ((*vscale)[d] <= 0.f) (*vscale)[d] = 1e-12f;
+  }
+}
+
+/// Encodes every list's members into contiguous SQ8 codes, one task per
+/// list across the executor (each list's codes are independent).
+inline void EncodeSq8Lists(const FloatMatrix& data,
+                           const std::vector<std::vector<int64_t>>& list_ids,
+                           const std::vector<float>& vmin,
+                           const std::vector<float>& vscale,
+                           ParallelExecutor* executor,
+                           std::vector<std::vector<uint8_t>>* list_codes) {
+  const size_t dim = data.dim();
+  list_codes->resize(list_ids.size());
+  auto encode_list = [&](size_t l) {
+    (*list_codes)[l].resize(list_ids[l].size() * dim);
+    for (size_t j = 0; j < list_ids[l].size(); ++j) {
+      const float* row = data.Row(list_ids[l][j]);
+      uint8_t* code = &(*list_codes)[l][j * dim];
+      for (size_t d = 0; d < dim; ++d) {
+        const float q = (row[d] - vmin[d]) / vscale[d];
+        code[d] = static_cast<uint8_t>(std::clamp(q + 0.5f, 0.0f, 255.0f));
+      }
+    }
+  };
+  ParallelForOrInline(executor, list_ids.size(), encode_list);
+}
+
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_SQ8_H_

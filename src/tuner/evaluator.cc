@@ -44,6 +44,10 @@ std::shared_ptr<Collection> VdmsEvaluator::BuildCollection(
   copts.system = config.system;
   copts.index.type = config.index_type;
   copts.index.params = config.index;
+  if (options_.build_threads > 0) {
+    copts.index.params.build_threads =
+        static_cast<int>(options_.build_threads);
+  }
   copts.scale.dataset_mb = spec.standin_mb;
   copts.scale.memory_mb = spec.PaperMb();
   copts.scale.actual_rows = data_->rows();

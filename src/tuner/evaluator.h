@@ -53,6 +53,17 @@ struct VdmsEvaluatorOptions {
   /// Parallelism changes only the wall-clock cost of an evaluation, never
   /// its outcome.
   size_t eval_threads = 0;
+  /// Worker threads for the index builds behind each evaluation (the
+  /// dominant per-iteration cost): 0 leaves the configuration's own
+  /// IndexParams::build_threads in effect (default: the process-wide
+  /// VDT_THREADS executor); n > 0 overrides it for every collection this
+  /// evaluator stands up. The kmeans-family indexes build bit-identical
+  /// structures at every width, so there this changes wall-clock only.
+  /// HNSW builds a different (equally valid, recall-equivalent) graph in
+  /// sequential (1) vs batched (any other value) mode; BuildSignature —
+  /// and therefore the build cache key — records that mode, so cached
+  /// collections are never shared across it.
+  size_t build_threads = 0;
 };
 
 /// Evaluates configurations against a real collection built over `data`.

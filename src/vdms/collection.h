@@ -19,6 +19,10 @@ namespace vdt {
 class ParallelExecutor;
 
 /// Index configuration of a collection: type plus parameter bag.
+/// `params.build_threads` rides along: every segment sealed by this
+/// collection builds its index across the executor that knob selects
+/// (0 = the process-wide VDT_THREADS pool), without changing the built
+/// structures — see the VectorIndex::Build determinism contract.
 struct IndexSpec {
   IndexType type = IndexType::kAutoIndex;
   IndexParams params;

@@ -1,6 +1,7 @@
 #include "vdms/segment.h"
 
 #include <algorithm>
+#include <string>
 
 namespace vdt {
 
@@ -12,7 +13,10 @@ Status Segment::Seal(IndexType type, Metric metric, const IndexParams& params,
     return Status::OK();  // stays brute-force
   }
   index_ = CreateIndex(type, metric, params, seed);
-  if (index_ == nullptr) return Status::Internal("unknown index type");
+  if (index_ == nullptr) {
+    return Status::Internal("segment seal: unknown index type " +
+                            std::to_string(static_cast<int>(type)));
+  }
   Status st = index_->Build(data_);
   if (!st.ok()) index_.reset();
   return st;

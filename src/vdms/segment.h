@@ -26,7 +26,9 @@ class Segment {
 
   /// Seals the segment and builds `type` over its rows when they number at
   /// least `build_threshold`; otherwise the segment stays index-less and is
-  /// scanned brute-force.
+  /// scanned brute-force. The build shards across the executor selected by
+  /// `params.build_threads` (0 = process-wide pool sized by VDT_THREADS);
+  /// see the VectorIndex::Build determinism contract.
   Status Seal(IndexType type, Metric metric, const IndexParams& params,
               int build_threshold, uint64_t seed);
 

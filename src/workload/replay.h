@@ -33,6 +33,11 @@ struct ReplayOptions {
   /// n > 0 uses a dedicated pool of n threads for this replay (1 is
   /// effectively sequential). Results are identical either way; only
   /// wall-clock time changes.
+  ///
+  /// Replay never builds indexes; the build-side counterpart of this knob
+  /// is IndexParams::build_threads (plumbed per evaluation through
+  /// VdmsEvaluatorOptions::build_threads), with the same only-wall-clock
+  /// guarantee.
   size_t batch_threads = 0;
 };
 
