@@ -28,9 +28,10 @@ Status AutoIndex::Build(const FloatMatrix& data) {
   return delegate_->Build(data);
 }
 
-std::vector<Neighbor> AutoIndex::Search(const float* query, size_t k,
-                                        WorkCounters* counters) const {
-  return delegate_->Search(query, k, counters);
+std::vector<Neighbor> AutoIndex::SearchFiltered(const float* query, size_t k,
+                                                const RowFilter* filter,
+                                                WorkCounters* counters) const {
+  return delegate_->SearchFiltered(query, k, filter, counters);
 }
 
 size_t AutoIndex::MemoryBytes() const {

@@ -18,8 +18,9 @@ class AutoIndex : public VectorIndex {
       : metric_(metric), seed_(seed), build_threads_(build_threads) {}
 
   Status Build(const FloatMatrix& data) override;
-  std::vector<Neighbor> Search(const float* query, size_t k,
-                               WorkCounters* counters) const override;
+  std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
+                                       const RowFilter* filter,
+                                       WorkCounters* counters) const override;
   size_t MemoryBytes() const override;
   IndexType type() const override { return IndexType::kAutoIndex; }
   size_t Size() const override;

@@ -8,9 +8,10 @@ Status FlatIndex::Build(const FloatMatrix& data) {
   return Status::OK();
 }
 
-std::vector<Neighbor> FlatIndex::Search(const float* query, size_t k,
-                                        WorkCounters* counters) const {
-  return BruteForceSearch(*data_, metric_, query, k, counters);
+std::vector<Neighbor> FlatIndex::SearchFiltered(const float* query, size_t k,
+                                                const RowFilter* filter,
+                                                WorkCounters* counters) const {
+  return BruteForceSearch(*data_, metric_, query, k, counters, filter);
 }
 
 }  // namespace vdt

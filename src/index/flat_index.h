@@ -12,8 +12,9 @@ class FlatIndex : public VectorIndex {
   explicit FlatIndex(Metric metric) : metric_(metric) {}
 
   Status Build(const FloatMatrix& data) override;
-  std::vector<Neighbor> Search(const float* query, size_t k,
-                               WorkCounters* counters) const override;
+  std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
+                                       const RowFilter* filter,
+                                       WorkCounters* counters) const override;
   size_t MemoryBytes() const override { return 0; }  // uses the segment data
   IndexType type() const override { return IndexType::kFlat; }
   size_t Size() const override { return data_ ? data_->rows() : 0; }

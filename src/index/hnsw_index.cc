@@ -45,6 +45,7 @@ const std::vector<uint32_t>& HnswIndex::LinksAt(uint32_t node,
 std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
                                              uint32_t entry, size_t ef,
                                              int level,
+                                             const RowFilter* filter,
                                              WorkCounters* counters) const {
   std::vector<uint8_t> visited(data_->rows(), 0);
 
@@ -59,7 +60,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
 
   const float d0 = Dist(query, entry, counters);
   frontier.push({static_cast<int64_t>(entry), d0});
-  results.Offer(entry, d0);
+  if (RowIsLive(filter, entry)) results.Offer(entry, d0);
   visited[entry] = 1;
 
   while (!frontier.empty()) {
@@ -73,8 +74,11 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
       visited[next] = 1;
       const float d = Dist(query, next, counters);
       if (!results.Full() || d < results.WorstDistance()) {
+        // Tombstoned nodes stay on the frontier (they route the beam) but
+        // never enter the results, which is the internal over-fetch: an
+        // unfilled result heap keeps the expansion going.
         frontier.push({static_cast<int64_t>(next), d});
-        results.Offer(next, d);
+        if (RowIsLive(filter, next)) results.Offer(next, d);
       }
     }
   }
@@ -188,7 +192,8 @@ Status HnswIndex::Build(const FloatMatrix& data) {
       auto& per_level = plans[j];
       per_level.resize(static_cast<size_t>(std::min(level, max_level_)) + 1);
       for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
-        std::vector<Neighbor> nearest = SearchLayer(q, ep, ef_c, lc, nullptr);
+        std::vector<Neighbor> nearest =
+            SearchLayer(q, ep, ef_c, lc, nullptr, nullptr);
         if (!nearest.empty()) ep = static_cast<uint32_t>(nearest.front().id);
         per_level[lc] = std::move(nearest);
       }
@@ -233,8 +238,9 @@ Status HnswIndex::Build(const FloatMatrix& data) {
   return Status::OK();
 }
 
-std::vector<Neighbor> HnswIndex::Search(const float* query, size_t k,
-                                        WorkCounters* counters) const {
+std::vector<Neighbor> HnswIndex::SearchFiltered(const float* query, size_t k,
+                                                const RowFilter* filter,
+                                                WorkCounters* counters) const {
   assert(data_ != nullptr && data_->rows() > 0);
   uint32_t ep = entry_;
 
@@ -257,7 +263,7 @@ std::vector<Neighbor> HnswIndex::Search(const float* query, size_t k,
   }
 
   const size_t ef = std::max<size_t>(static_cast<size_t>(std::max(1, params_.ef)), k);
-  std::vector<Neighbor> found = SearchLayer(query, ep, ef, 0, counters);
+  std::vector<Neighbor> found = SearchLayer(query, ep, ef, 0, filter, counters);
   if (found.size() > k) found.resize(k);
   return found;
 }

@@ -25,8 +25,9 @@ class HnswIndex : public VectorIndex {
       : metric_(metric), params_(params), seed_(seed) {}
 
   Status Build(const FloatMatrix& data) override;
-  std::vector<Neighbor> Search(const float* query, size_t k,
-                               WorkCounters* counters) const override;
+  std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
+                                       const RowFilter* filter,
+                                       WorkCounters* counters) const override;
   void UpdateSearchParams(const IndexParams& params) override {
     params_.ef = params.ef;
   }
@@ -41,9 +42,13 @@ class HnswIndex : public VectorIndex {
   float Dist(const float* query, uint32_t id, WorkCounters* counters) const;
 
   /// Beam search within one layer starting from `entry`; returns up to `ef`
-  /// nearest nodes sorted by distance ascending.
+  /// nearest *live* nodes sorted by distance ascending. Tombstoned nodes
+  /// (filter != null) are traversed — the graph stays connected through
+  /// them — but never collected, so the beam keeps expanding until `ef`
+  /// live nodes are found or the component is exhausted.
   std::vector<Neighbor> SearchLayer(const float* query, uint32_t entry,
                                     size_t ef, int level,
+                                    const RowFilter* filter,
                                     WorkCounters* counters) const;
 
   /// Malkov's diversity heuristic: selects up to `max_m` neighbors from

@@ -133,13 +133,17 @@ std::vector<std::vector<Neighbor>> VectorIndex::SearchBatch(
 
 std::vector<Neighbor> BruteForceSearch(const FloatMatrix& data, Metric metric,
                                        const float* query, size_t k,
-                                       WorkCounters* counters) {
+                                       WorkCounters* counters,
+                                       const RowFilter* filter) {
   TopKCollector topk(k);
+  uint64_t scanned = 0;
   for (size_t i = 0; i < data.rows(); ++i) {
+    if (!RowIsLive(filter, static_cast<int64_t>(i))) continue;
     topk.Offer(static_cast<int64_t>(i),
                Distance(metric, query, data.Row(i), data.dim()));
+    ++scanned;
   }
-  if (counters != nullptr) counters->full_distance_evals += data.rows();
+  if (counters != nullptr) counters->full_distance_evals += scanned;
   return topk.Take();
 }
 

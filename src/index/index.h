@@ -97,6 +97,33 @@ struct Neighbor {
   }
 };
 
+/// Live-row predicate over the local row ids of one indexed matrix, viewing
+/// a tombstone bitmap owned by the caller (1 = deleted, one byte per row).
+/// A null filter (or a null bitmap) means every row is live. The bitmap must
+/// outlive the search and must not be mutated concurrently with it.
+///
+/// Indexes handle the filter by over-fetching internally: filtered rows are
+/// still traversed where the algorithm needs them (e.g. HNSW graph hops pass
+/// through tombstoned nodes) but are never offered to the result set, so a
+/// search keeps returning up to k *live* neighbors while any rows remain.
+class RowFilter {
+ public:
+  RowFilter() = default;
+  explicit RowFilter(const uint8_t* tombstones) : tombstones_(tombstones) {}
+
+  bool IsLive(int64_t id) const {
+    return tombstones_ == nullptr || tombstones_[id] == 0;
+  }
+
+ private:
+  const uint8_t* tombstones_ = nullptr;
+};
+
+/// True when `id` passes `filter` (null filter = everything live).
+inline bool RowIsLive(const RowFilter* filter, int64_t id) {
+  return filter == nullptr || filter->IsLive(id);
+}
+
 /// Abstract approximate-nearest-neighbor index over one immutable segment.
 class VectorIndex {
  public:
@@ -125,8 +152,22 @@ class VectorIndex {
 
   /// Exact/approximate top-k for `query`; results sorted by distance
   /// ascending. Appends the work performed to `counters` (may be null).
-  virtual std::vector<Neighbor> Search(const float* query, size_t k,
-                                       WorkCounters* counters) const = 0;
+  /// Convenience form of SearchFiltered with every row live.
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               WorkCounters* counters) const {
+    return SearchFiltered(query, k, nullptr, counters);
+  }
+
+  /// Search() restricted to the rows `filter` declares live (null = all
+  /// rows). Tombstoned rows never appear in the result; backends over-fetch
+  /// internally (scan past dead rows, keep expanding the beam) so up to k
+  /// live neighbors are still returned. Work counters charge only distance
+  /// evaluations actually performed — filtered-out scans are skipped, while
+  /// traversal work through dead rows (graph hops) is still counted.
+  virtual std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
+                                               const RowFilter* filter,
+                                               WorkCounters* counters)
+      const = 0;
 
   /// Top-k for every row of `queries`; result i corresponds to
   /// queries.Row(i). Queries are sharded one-per-task across `executor`
@@ -186,10 +227,13 @@ std::unique_ptr<VectorIndex> CreateIndex(IndexType type, Metric metric,
                                          const IndexParams& params,
                                          uint64_t seed);
 
-/// Exact top-k by brute force (the ground-truth oracle).
+/// Exact top-k by brute force (the ground-truth oracle). `filter` restricts
+/// the scan to live rows (null = all rows); filtered rows cost no distance
+/// evaluations.
 std::vector<Neighbor> BruteForceSearch(const FloatMatrix& data, Metric metric,
                                        const float* query, size_t k,
-                                       WorkCounters* counters);
+                                       WorkCounters* counters,
+                                       const RowFilter* filter = nullptr);
 
 /// A string identifying the build-affecting subset of (type, params): two
 /// configurations with equal signatures can share one built index and differ

@@ -60,15 +60,17 @@ std::vector<int32_t> IvfBaseIndex::ProbeLists(const float* query,
 
 // ---------------------------------------------------------------- IVF_FLAT
 
-std::vector<Neighbor> IvfFlatIndex::Search(const float* query, size_t k,
-                                           WorkCounters* counters) const {
+std::vector<Neighbor> IvfFlatIndex::SearchFiltered(
+    const float* query, size_t k, const RowFilter* filter,
+    WorkCounters* counters) const {
   TopKCollector topk(k);
   uint64_t scanned = 0;
   for (int32_t list : ProbeLists(query, counters)) {
     for (int64_t id : list_ids_[list]) {
+      if (!RowIsLive(filter, id)) continue;
       topk.Offer(id, Distance(metric_, query, data_->Row(id), data_->dim()));
+      ++scanned;
     }
-    scanned += list_ids_[list].size();
   }
   if (counters != nullptr) counters->full_distance_evals += scanned;
   return topk.Take();
@@ -89,8 +91,9 @@ Status IvfSq8Index::EncodeLists(const FloatMatrix& data,
   return Status::OK();
 }
 
-std::vector<Neighbor> IvfSq8Index::Search(const float* query, size_t k,
-                                          WorkCounters* counters) const {
+std::vector<Neighbor> IvfSq8Index::SearchFiltered(
+    const float* query, size_t k, const RowFilter* filter,
+    WorkCounters* counters) const {
   const size_t dim = data_->dim();
   TopKCollector topk(k);
   uint64_t scanned = 0;
@@ -98,6 +101,7 @@ std::vector<Neighbor> IvfSq8Index::Search(const float* query, size_t k,
     const auto& ids = list_ids_[list];
     const uint8_t* codes = list_codes_[list].data();
     for (size_t j = 0; j < ids.size(); ++j) {
+      if (!RowIsLive(filter, ids[j])) continue;
       // Dequantize on the fly and accumulate the metric.
       const uint8_t* code = codes + j * dim;
       float acc = 0.f;
@@ -115,8 +119,8 @@ std::vector<Neighbor> IvfSq8Index::Search(const float* query, size_t k,
         acc = metric_ == Metric::kAngular ? 1.0f - dot : -dot;
       }
       topk.Offer(ids[j], acc);
+      ++scanned;
     }
-    scanned += ids.size();
   }
   if (counters != nullptr) counters->code_distance_evals += scanned;
   return topk.Take();
@@ -192,8 +196,9 @@ Status IvfPqIndex::EncodeLists(const FloatMatrix& data,
   return Status::OK();
 }
 
-std::vector<Neighbor> IvfPqIndex::Search(const float* query, size_t k,
-                                         WorkCounters* counters) const {
+std::vector<Neighbor> IvfPqIndex::SearchFiltered(
+    const float* query, size_t k, const RowFilter* filter,
+    WorkCounters* counters) const {
   const size_t m = static_cast<size_t>(params_.m);
   const size_t ksub = static_cast<size_t>(ksub_);
 
@@ -219,12 +224,13 @@ std::vector<Neighbor> IvfPqIndex::Search(const float* query, size_t k,
     const auto& ids = list_ids_[list];
     const uint16_t* codes = list_codes_[list].data();
     for (size_t j = 0; j < ids.size(); ++j) {
+      if (!RowIsLive(filter, ids[j])) continue;
       const uint16_t* code = codes + j * m;
       float acc = bias;
       for (size_t s = 0; s < m; ++s) acc += table[s * ksub + code[s]];
       topk.Offer(ids[j], acc);
+      ++scanned;
     }
-    scanned += ids.size();
   }
   if (counters != nullptr) counters->pq_lookup_ops += scanned * m;
   return topk.Take();

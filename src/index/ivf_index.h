@@ -54,8 +54,9 @@ class IvfFlatIndex : public IvfBaseIndex {
  public:
   using IvfBaseIndex::IvfBaseIndex;
 
-  std::vector<Neighbor> Search(const float* query, size_t k,
-                               WorkCounters* counters) const override;
+  std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
+                                       const RowFilter* filter,
+                                       WorkCounters* counters) const override;
   size_t MemoryBytes() const override;
   IndexType type() const override { return IndexType::kIvfFlat; }
 
@@ -71,8 +72,9 @@ class IvfSq8Index : public IvfBaseIndex {
  public:
   using IvfBaseIndex::IvfBaseIndex;
 
-  std::vector<Neighbor> Search(const float* query, size_t k,
-                               WorkCounters* counters) const override;
+  std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
+                                       const RowFilter* filter,
+                                       WorkCounters* counters) const override;
   size_t MemoryBytes() const override;
   IndexType type() const override { return IndexType::kIvfSq8; }
 
@@ -93,8 +95,9 @@ class IvfPqIndex : public IvfBaseIndex {
  public:
   using IvfBaseIndex::IvfBaseIndex;
 
-  std::vector<Neighbor> Search(const float* query, size_t k,
-                               WorkCounters* counters) const override;
+  std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
+                                       const RowFilter* filter,
+                                       WorkCounters* counters) const override;
   size_t MemoryBytes() const override;
   IndexType type() const override { return IndexType::kIvfPq; }
 

@@ -39,8 +39,9 @@ Status ScannIndex::Build(const FloatMatrix& data) {
   return Status::OK();
 }
 
-std::vector<Neighbor> ScannIndex::Search(const float* query, size_t k,
-                                         WorkCounters* counters) const {
+std::vector<Neighbor> ScannIndex::SearchFiltered(
+    const float* query, size_t k, const RowFilter* filter,
+    WorkCounters* counters) const {
   const size_t dim = data_->dim();
   const size_t nlist = centroids_.rows();
   const size_t nprobe = std::min<size_t>(std::max(1, params_.nprobe), nlist);
@@ -65,6 +66,7 @@ std::vector<Neighbor> ScannIndex::Search(const float* query, size_t k,
     const auto& ids = list_ids_[list];
     const uint8_t* codes = list_codes_[list].data();
     for (size_t j = 0; j < ids.size(); ++j) {
+      if (!RowIsLive(filter, ids[j])) continue;
       const uint8_t* code = codes + j * dim;
       float score;
       if (metric_ == Metric::kL2) {
@@ -83,8 +85,8 @@ std::vector<Neighbor> ScannIndex::Search(const float* query, size_t k,
         score = metric_ == Metric::kAngular ? 1.0f - dot : -dot;
       }
       approx.Offer(ids[j], score);
+      ++scanned;
     }
-    scanned += ids.size();
   }
   if (counters != nullptr) counters->code_distance_evals += scanned;
 

@@ -18,8 +18,9 @@ class ScannIndex : public VectorIndex {
       : metric_(metric), params_(params), seed_(seed) {}
 
   Status Build(const FloatMatrix& data) override;
-  std::vector<Neighbor> Search(const float* query, size_t k,
-                               WorkCounters* counters) const override;
+  std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
+                                       const RowFilter* filter,
+                                       WorkCounters* counters) const override;
   void UpdateSearchParams(const IndexParams& params) override {
     params_.nprobe = params.nprobe;
     params_.reorder_k = params.reorder_k;

@@ -34,10 +34,9 @@ std::string VdmsEvaluator::CacheKey(const TuningConfig& config) const {
   return os.str();
 }
 
-std::shared_ptr<Collection> VdmsEvaluator::BuildCollection(
-    const TuningConfig& config, Status* status) {
+CollectionOptions VdmsEvaluator::MakeCollectionOptions(
+    const TuningConfig& config) const {
   const DatasetSpec& spec = GetDatasetSpec(options_.profile);
-
   CollectionOptions copts;
   copts.name = spec.name;
   copts.metric = spec.metric;
@@ -52,16 +51,61 @@ std::shared_ptr<Collection> VdmsEvaluator::BuildCollection(
   copts.scale.memory_mb = spec.PaperMb();
   copts.scale.actual_rows = data_->rows();
   copts.seed = options_.seed;
+  return copts;
+}
 
-  auto collection = std::make_shared<Collection>(copts);
+std::shared_ptr<Collection> VdmsEvaluator::BuildCollection(
+    const TuningConfig& config, Status* status) {
+  auto collection = std::make_shared<Collection>(MakeCollectionOptions(config));
   *status = collection->Insert(*data_);
   if (status->ok()) *status = collection->Flush();
   return collection;
 }
 
-EvalOutcome VdmsEvaluator::Evaluate(const TuningConfig& config) {
-  EvalOutcome out;
+double VdmsEvaluator::AnalyticStandUpSeconds(
+    const TuningConfig& config, const CollectionStats& stats) const {
   const DatasetSpec& spec = GetDatasetSpec(options_.profile);
+  const double paper_rows_total = static_cast<double>(spec.paper_rows);
+  // growing_rows are the brute-force-scanned (unindexed) stored rows.
+  const double indexed_fraction =
+      stats.stored_rows > 0
+          ? 1.0 - static_cast<double>(stats.growing_rows) /
+                      static_cast<double>(stats.stored_rows)
+          : 0.0;
+  return AnalyticLoadSeconds(options_.replay.cost, paper_rows_total,
+                             spec.paper_dim) +
+         AnalyticBuildSeconds(options_.replay.cost, config.index_type,
+                              config.index,
+                              paper_rows_total * indexed_fraction,
+                              spec.paper_dim);
+}
+
+EvalOutcome VdmsEvaluator::EvaluateChurn(const TuningConfig& config) {
+  EvalOutcome out;
+
+  // A fresh, empty collection every time: the timeline mutates it (deletes,
+  // compactions), so nothing here can be shared through the build cache.
+  Collection collection(MakeCollectionOptions(config));
+  const ChurnReplayResult replay =
+      ReplayChurn(&collection, *options_.churn, options_.replay);
+
+  out.eval_seconds = AnalyticStandUpSeconds(config, collection.Stats());
+  out.qps = replay.qps;
+  out.recall = replay.recall;
+  out.memory_gib = replay.memory_gib;
+  out.eval_seconds += replay.replay_seconds;
+  if (replay.failed) {
+    out.failed = true;
+    out.fail_reason = replay.fail_reason;
+    out.eval_seconds += 900.0;  // the paper's 15-minute replay cap
+  }
+  return out;
+}
+
+EvalOutcome VdmsEvaluator::Evaluate(const TuningConfig& config) {
+  if (options_.churn != nullptr) return EvaluateChurn(config);
+
+  EvalOutcome out;
 
   // Look up / build the collection.
   std::shared_ptr<Collection> collection;
@@ -87,19 +131,7 @@ EvalOutcome VdmsEvaluator::Evaluate(const TuningConfig& config) {
   // Simulated paper-scale evaluation time: every configuration change
   // reloads data and rebuilds indexes (the paper's dominant cost), cache or
   // not — our cache is an implementation shortcut, not part of the model.
-  const CollectionStats stats = collection->Stats();
-  const double paper_rows_total = static_cast<double>(spec.paper_rows);
-  const double indexed_fraction =
-      stats.total_rows > 0
-          ? 1.0 - static_cast<double>(stats.growing_rows) /
-                      static_cast<double>(stats.total_rows)
-          : 0.0;
-  out.eval_seconds =
-      AnalyticLoadSeconds(options_.replay.cost, paper_rows_total,
-                          spec.paper_dim) +
-      AnalyticBuildSeconds(options_.replay.cost, config.index_type,
-                           config.index, paper_rows_total * indexed_fraction,
-                           spec.paper_dim);
+  out.eval_seconds = AnalyticStandUpSeconds(config, collection->Stats());
 
   if (!build_status.ok()) {
     out.failed = true;

@@ -14,6 +14,7 @@
 
 #include "common/parallel_executor.h"
 #include "tuner/param_space.h"
+#include "workload/churn.h"
 #include "workload/replay.h"
 #include "workload/workload.h"
 
@@ -64,12 +65,28 @@ struct VdmsEvaluatorOptions {
   /// and therefore the build cache key — records that mode, so cached
   /// collections are never shared across it.
   size_t build_threads = 0;
+  /// Churn mode: when set (non-owning, must outlive the evaluator), every
+  /// evaluation stands up an *empty* collection with the configuration and
+  /// drives it through this mixed insert/delete/search timeline instead of
+  /// replaying the static `workload`. Because the timeline mutates the
+  /// collection (deletes, compactions), churn evaluations bypass the build
+  /// cache entirely. Outcomes stay deterministic at any eval_threads /
+  /// build_threads width for the kmeans-family and FLAT index types (HNSW
+  /// keeps its documented sequential-vs-batched mode distinction).
+  ///
+  /// Pair churn tuning with ParamSpace(/*dynamic_workload=*/true):
+  /// otherwise the compaction_deleted_ratio knob — the one dimension that
+  /// only a deleting workload can exercise — stays pinned at its default
+  /// and the acquisition never explores it.
+  const ChurnWorkload* churn = nullptr;
 };
 
 /// Evaluates configurations against a real collection built over `data`.
 class VdmsEvaluator : public Evaluator {
  public:
-  /// `data` and `workload` must outlive the evaluator.
+  /// `data` and `workload` must outlive the evaluator. In churn mode
+  /// (options.churn set) `workload` may be null — the timeline carries its
+  /// own queries and per-op live-set ground truth.
   VdmsEvaluator(const FloatMatrix* data, const Workload* workload,
                 VdmsEvaluatorOptions options);
 
@@ -83,6 +100,15 @@ class VdmsEvaluator : public Evaluator {
   std::string CacheKey(const TuningConfig& config) const;
   std::shared_ptr<Collection> BuildCollection(const TuningConfig& config,
                                               Status* status);
+  /// CollectionOptions for `config` (dataset scale, seed, build_threads
+  /// override applied) without ingesting any data.
+  CollectionOptions MakeCollectionOptions(const TuningConfig& config) const;
+  /// Simulated paper-scale seconds to stand the configuration up (data load
+  /// + index build over the indexed fraction of what is stored).
+  double AnalyticStandUpSeconds(const TuningConfig& config,
+                                const CollectionStats& stats) const;
+  /// The churn-mode evaluation path (options_.churn != nullptr).
+  EvalOutcome EvaluateChurn(const TuningConfig& config);
 
   const FloatMatrix* data_;
   const Workload* workload_;

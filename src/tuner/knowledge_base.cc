@@ -1,13 +1,19 @@
 #include "tuner/knowledge_base.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 namespace vdt {
 namespace {
 
-constexpr const char* kHeader = "vdtuner-knowledge-base-v1";
+// v1 predates the compaction-ratio dimension (fixed 16 coordinates per
+// record); v2 records its coordinate count in the header, so short lines
+// are always corruption, never an older layout.
+constexpr const char* kHeaderV1 = "vdtuner-knowledge-base-v1";
+constexpr const char* kHeaderV2Prefix = "vdtuner-knowledge-base-v2 dims=";
 
 std::string FormatFull(double v) {
   char buf[32];
@@ -35,16 +41,34 @@ std::string SerializeObservation(const Observation& obs,
 }
 
 Result<Observation> ParseObservation(const std::string& line,
-                                     const ParamSpace& space) {
+                                     const ParamSpace& space,
+                                     size_t file_dims) {
+  if (file_dims == 0) file_dims = space.dims();
+  if (file_dims > space.dims()) {
+    return Status::InvalidArgument(
+        "record has more coordinates (" + std::to_string(file_dims) +
+        ") than this build's parameter space (" +
+        std::to_string(space.dims()) + ")");
+  }
   std::istringstream is(line);
   std::string field;
   std::vector<std::string> fields;
   while (std::getline(is, field, '\t')) fields.push_back(field);
-  const size_t expected = 10 + space.dims();
+  const size_t expected = 10 + file_dims;
   if (fields.size() != expected) {
     return Status::InvalidArgument("expected " + std::to_string(expected) +
                                    " fields, got " +
                                    std::to_string(fields.size()));
+  }
+  // Migration: dimensions are only ever appended, so a record from an older
+  // layout pads its missing trailing coordinates with their encoded
+  // defaults.
+  if (file_dims < space.dims()) {
+    const std::vector<double> defaults =
+        space.Encode(space.DefaultConfig(IndexType::kAutoIndex));
+    for (size_t d = file_dims; d < space.dims(); ++d) {
+      fields.push_back(FormatFull(defaults[d]));
+    }
   }
 
   Observation obs;
@@ -55,7 +79,6 @@ Result<Observation> ParseObservation(const std::string& line,
   };
   obs.iteration = std::atoi(fields[0].c_str());
   obs.failed = fields[1] == "1";
-  double v = 0;
   if (!parse_double(fields[2], &obs.qps)) {
     return Status::InvalidArgument("bad qps field");
   }
@@ -80,7 +103,6 @@ Result<Observation> ParseObservation(const std::string& line,
   if (!parse_double(fields[9], &obs.cum_tuning_seconds)) {
     return Status::InvalidArgument("bad cum_tuning_seconds field");
   }
-  (void)v;
 
   obs.x.resize(space.dims());
   for (size_t d = 0; d < space.dims(); ++d) {
@@ -99,7 +121,7 @@ Status SaveKnowledgeBase(const std::string& path,
   if (!out.is_open()) {
     return Status::Internal("cannot open '" + path + "' for writing");
   }
-  out << kHeader << '\n';
+  out << kHeaderV2Prefix << space.dims() << '\n';
   for (const Observation& obs : history) {
     out << SerializeObservation(obs, space) << '\n';
   }
@@ -115,7 +137,20 @@ Result<std::vector<Observation>> LoadKnowledgeBase(const std::string& path,
     return Status::NotFound("cannot open '" + path + "'");
   }
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("bad or missing knowledge-base header");
+  }
+  size_t file_dims = 0;  // 0 = space.dims()
+  if (line == kHeaderV1) {
+    // v1 predates the compaction-ratio dimension.
+    file_dims = static_cast<size_t>(kDimCompactionRatio);
+  } else if (line.rfind(kHeaderV2Prefix, 0) == 0) {
+    const int dims = std::atoi(line.c_str() + std::strlen(kHeaderV2Prefix));
+    if (dims <= 0) {
+      return Status::InvalidArgument("bad knowledge-base dims header");
+    }
+    file_dims = static_cast<size_t>(dims);
+  } else {
     return Status::InvalidArgument("bad or missing knowledge-base header");
   }
   std::vector<Observation> history;
@@ -123,7 +158,7 @@ Result<std::vector<Observation>> LoadKnowledgeBase(const std::string& path,
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
-    Result<Observation> obs = ParseObservation(line, space);
+    Result<Observation> obs = ParseObservation(line, space, file_dims);
     if (!obs.ok()) {
       return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
                                      obs.status().message());

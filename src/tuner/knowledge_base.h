@@ -19,9 +19,14 @@ namespace vdt {
 std::string SerializeObservation(const Observation& obs,
                                  const ParamSpace& space);
 
-/// Parses a line produced by SerializeObservation.
+/// Parses a line produced by SerializeObservation. `file_dims` is the
+/// number of encoded coordinates the line carries (0 = space.dims()); when
+/// it is smaller than space.dims() — a file written before newer dimensions
+/// were appended — the missing trailing coordinates are padded with their
+/// encoded defaults.
 Result<Observation> ParseObservation(const std::string& line,
-                                     const ParamSpace& space);
+                                     const ParamSpace& space,
+                                     size_t file_dims = 0);
 
 /// Writes `history` to `path` (overwrites). The file starts with a
 /// versioned header line.
@@ -30,7 +35,11 @@ Status SaveKnowledgeBase(const std::string& path,
                          const ParamSpace& space);
 
 /// Reads a knowledge base written by SaveKnowledgeBase. Fails on version
-/// mismatch or malformed lines (no partial results).
+/// mismatch or malformed lines (no partial results). v1 files (written
+/// before the compaction-ratio dimension) migrate on load: each record's
+/// missing trailing coordinate is padded with its encoded default. v2
+/// files record their dimension count in the header, so a truncated line
+/// is always a loud error, never a silent pad.
 Result<std::vector<Observation>> LoadKnowledgeBase(const std::string& path,
                                                    const ParamSpace& space);
 

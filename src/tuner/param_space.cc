@@ -14,7 +14,8 @@ std::string TuningConfig::ToString() const {
   return os.str();
 }
 
-ParamSpace::ParamSpace() {
+ParamSpace::ParamSpace(bool dynamic_workload)
+    : dynamic_workload_(dynamic_workload) {
   defs_.resize(kNumParamDims);
   // Categorical index type is embedded as an evenly spaced coordinate; the
   // GP sees nearby types as "similar", which is a standard relaxation.
@@ -44,6 +45,10 @@ ParamSpace::ParamSpace() {
                                     32, 4096, true, 128};
   defs_[kDimCacheRatio] = {"cacheRatio", ParamScale::kLinear, 0.05, 0.90,
                            false, 0.30};
+  // 1.0 disables compaction (a deleted ratio can never exceed it), so the
+  // tuner can turn the pass off entirely for delete-free workloads.
+  defs_[kDimCompactionRatio] = {"compactionDeletedRatio", ParamScale::kLinear,
+                                0.05, 1.0, false, 0.2};
 }
 
 double ParamSpace::EncodeValue(size_t dim, double value) const {
@@ -108,6 +113,8 @@ std::vector<double> ParamSpace::Encode(const TuningConfig& config) const {
   x[kDimBuildIndexThreshold] = EncodeValue(
       kDimBuildIndexThreshold, config.system.build_index_threshold);
   x[kDimCacheRatio] = EncodeValue(kDimCacheRatio, config.system.cache_ratio);
+  x[kDimCompactionRatio] = EncodeValue(
+      kDimCompactionRatio, config.system.compaction_deleted_ratio);
   return x;
 }
 
@@ -138,6 +145,8 @@ TuningConfig ParamSpace::Decode(const std::vector<double>& x) const {
   c.system.build_index_threshold = static_cast<int>(
       DecodeValue(kDimBuildIndexThreshold, x[kDimBuildIndexThreshold]));
   c.system.cache_ratio = DecodeValue(kDimCacheRatio, x[kDimCacheRatio]);
+  c.system.compaction_deleted_ratio =
+      DecodeValue(kDimCompactionRatio, x[kDimCompactionRatio]);
   return c;
 }
 
@@ -168,6 +177,10 @@ std::vector<size_t> ParamSpace::ActiveDims(IndexType type) const {
       break;  // no index parameters
   }
   for (size_t d = kDimSegmentMaxSize; d < kNumParamDims; ++d) {
+    // The compaction trigger can only matter when the workload deletes
+    // rows; on static workloads it stays pinned at its default so the
+    // acquisition spends no budget on an inert knob.
+    if (d == kDimCompactionRatio && !dynamic_workload_) continue;
     dims.push_back(d);
   }
   return dims;

@@ -1,8 +1,9 @@
-// The 16-dimensional holistic configuration space of §V-A: one categorical
-// index-type dimension, 8 index parameters (Table I), and 7 system
-// parameters. Encodes/decodes between typed configurations and [0,1]^16
-// vectors (the GP's input space), and exposes the per-index-type active
-// subspaces VDTuner's polling acquisition needs.
+// The holistic configuration space of §V-A: one categorical index-type
+// dimension, 8 index parameters (Table I), and the system parameters — the
+// paper's 7 plus this tree's compaction trigger ratio (dynamic-data
+// extension), 17 dimensions total. Encodes/decodes between typed
+// configurations and [0,1]^dims vectors (the GP's input space), and exposes
+// the per-index-type active subspaces VDTuner's polling acquisition needs.
 #ifndef VDTUNER_TUNER_PARAM_SPACE_H_
 #define VDTUNER_TUNER_PARAM_SPACE_H_
 
@@ -55,13 +56,20 @@ enum ParamIndex : size_t {
   kDimMaxReadConcurrency,
   kDimBuildIndexThreshold,
   kDimCacheRatio,
-  kNumParamDims,  // == 16
+  kDimCompactionRatio,
+  kNumParamDims,  // == 17
 };
 
 /// The holistic space (paper §IV-A).
 class ParamSpace {
  public:
-  ParamSpace();
+  /// `dynamic_workload` declares whether the tuned workload deletes rows:
+  /// the compaction trigger ratio is inert on append-only (static)
+  /// workloads, so it only joins ActiveDims — and therefore the polling
+  /// acquisition — when true. The dimension itself always exists in the
+  /// encoded space (PinForIndexType pins it to its default when inactive),
+  /// so knowledge bases transfer between the two modes.
+  explicit ParamSpace(bool dynamic_workload = false);
 
   size_t dims() const { return defs_.size(); }
   const ParamDef& def(size_t i) const { return defs_[i]; }
@@ -80,8 +88,11 @@ class ParamSpace {
   /// Encoded dimensions that are tunable when optimizing `type`: the
   /// type-specific index parameters plus all system parameters. The
   /// index-type dimension itself and other types' parameters are excluded
-  /// (the acquisition pins them, paper §IV-C).
+  /// (the acquisition pins them, paper §IV-C), as is the compaction ratio
+  /// on static workloads (inert without deletes).
   std::vector<size_t> ActiveDims(IndexType type) const;
+
+  bool dynamic_workload() const { return dynamic_workload_; }
 
   /// Uniform random point in [0,1]^dims.
   std::vector<double> SamplePoint(Rng* rng) const;
@@ -99,6 +110,7 @@ class ParamSpace {
   double DecodeValue(size_t dim, double coord) const;
 
   std::vector<ParamDef> defs_;
+  bool dynamic_workload_ = false;
 };
 
 }  // namespace vdt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/parallel_executor.h"
 #include "index/topk.h"
 
@@ -53,23 +54,33 @@ Status Collection::Insert(const FloatMatrix& rows) {
 
   for (size_t i = 0; i < rows.rows(); ++i) {
     buffer_.AppendRow(rows.Row(i), dim_);
+    buffer_tombstones_.push_back(0);
     ++next_id_;
     if (buffer_.rows() >= buffer_cap) {
-      // Flush the buffer into the growing segment.
-      if (!growing_) {
-        growing_ = std::make_unique<Segment>(buffer_base_, dim_);
-      }
-      for (size_t j = 0; j < buffer_.rows(); ++j) {
-        growing_->Append(buffer_.Row(j), dim_);
-      }
-      buffer_ = FloatMatrix(0, dim_);
-      buffer_base_ = next_id_;
+      FlushBufferIntoGrowing();
       if (growing_->rows() >= seal_rows) {
         VDT_RETURN_IF_ERROR(SealGrowing());
       }
     }
   }
   return Status::OK();
+}
+
+void Collection::FlushBufferIntoGrowing() {
+  if (!growing_) {
+    growing_ = std::make_unique<Segment>(buffer_base_, dim_);
+  }
+  for (size_t j = 0; j < buffer_.rows(); ++j) {
+    growing_->Append(buffer_.Row(j), dim_);
+    // Carry tombstones: deletes may land on buffered rows before they flush.
+    if (buffer_tombstones_[j] != 0) {
+      growing_->Delete(buffer_base_ + static_cast<int64_t>(j));
+    }
+  }
+  buffer_ = FloatMatrix(0, dim_);
+  buffer_tombstones_.clear();
+  buffer_deleted_ = 0;
+  buffer_base_ = next_id_;
 }
 
 Status Collection::SealGrowing() {
@@ -85,21 +96,87 @@ Status Collection::SealGrowing() {
 
 Status Collection::Flush() {
   if (buffer_.rows() > 0) {
-    if (!growing_) {
-      growing_ = std::make_unique<Segment>(buffer_base_, dim_);
-    }
-    for (size_t j = 0; j < buffer_.rows(); ++j) {
-      growing_->Append(buffer_.Row(j), dim_);
-    }
-    buffer_ = FloatMatrix(0, dim_);
+    FlushBufferIntoGrowing();
   }
   VDT_RETURN_IF_ERROR(SealGrowing());
   buffer_base_ = next_id_;
   return Status::OK();
 }
 
+Status Collection::Delete(const std::vector<int64_t>& ids, size_t* deleted) {
+  size_t count = 0;
+  for (const int64_t id : ids) {
+    if (id < 0 || id >= next_id_) continue;  // unknown id: ignore
+    // Route newest-first: recently inserted rows live in the buffer or the
+    // growing segment; older ones in a sealed segment.
+    if (id >= buffer_base_) {
+      const size_t local = static_cast<size_t>(id - buffer_base_);
+      if (local < buffer_tombstones_.size() &&
+          buffer_tombstones_[local] == 0) {
+        buffer_tombstones_[local] = 1;
+        ++buffer_deleted_;
+        ++count;
+      }
+      continue;
+    }
+    if (growing_ && growing_->Contains(id)) {
+      if (growing_->Delete(id)) ++count;
+      continue;
+    }
+    for (auto& seg : sealed_) {
+      if (seg->Contains(id)) {
+        if (seg->Delete(id)) ++count;
+        break;
+      }
+    }
+  }
+  if (deleted != nullptr) *deleted = count;
+  return Compact();
+}
+
+Status Collection::Compact(size_t* compacted) {
+  size_t rewritten = 0;
+  const double trigger = options_.system.compaction_deleted_ratio;
+  for (size_t i = 0; i < sealed_.size();) {
+    Segment& seg = *sealed_[i];
+    if (seg.deleted_rows() == 0 || seg.DeletedRatio() <= trigger) {
+      ++i;
+      continue;
+    }
+    ++compactions_;
+    ++rewritten;
+    if (seg.live_rows() == 0) {
+      sealed_.erase(sealed_.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    // Rewrite from live rows under an explicit id map, then reseal through
+    // the normal build path (deterministic: the seed depends only on the
+    // mutation history, never on thread count).
+    auto fresh = std::make_unique<Segment>(seg.base_id(), dim_);
+    for (size_t r = 0; r < seg.rows(); ++r) {
+      if (seg.IsDeleted(r)) continue;
+      fresh->AppendWithId(seg.data().Row(r), dim_, seg.IdAt(r));
+    }
+    Status st = fresh->Seal(options_.index.type, options_.metric,
+                            options_.index.params,
+                            options_.system.build_index_threshold,
+                            options_.seed + 7919 * compactions_ + 13);
+    if (!st.ok()) return st;
+    sealed_[i] = std::move(fresh);
+    ++i;
+  }
+  if (compacted != nullptr) *compacted = rewritten;
+  return Status::OK();
+}
+
 std::vector<Neighbor> Collection::Search(const float* query, size_t k,
                                          WorkCounters* counters) const {
+  if (k == 0 || query == nullptr) {
+    VDT_LOG(kWarning) << "Collection::Search: invalid arguments (k=" << k
+                      << (query == nullptr ? ", null query" : "")
+                      << "); returning empty";
+    return {};
+  }
   TopKCollector merged(k);
   for (const auto& seg : sealed_) {
     for (const Neighbor& n : seg->Search(options_.metric, query, k, counters)) {
@@ -113,7 +190,10 @@ std::vector<Neighbor> Collection::Search(const float* query, size_t k,
     }
   }
   if (buffer_.rows() > 0) {
-    auto hits = BruteForceSearch(buffer_, options_.metric, query, k, counters);
+    const RowFilter filter(buffer_tombstones_.data());
+    const RowFilter* fp = buffer_deleted_ > 0 ? &filter : nullptr;
+    auto hits =
+        BruteForceSearch(buffer_, options_.metric, query, k, counters, fp);
     for (const Neighbor& n : hits) {
       merged.Offer(n.id + buffer_base_, n.distance);
     }
@@ -124,7 +204,18 @@ std::vector<Neighbor> Collection::Search(const float* query, size_t k,
 std::vector<std::vector<Neighbor>> Collection::SearchBatch(
     const FloatMatrix& queries, size_t k, WorkCounters* counters,
     ParallelExecutor* executor) const {
-  // The segment walk inside Search() is read-only after ingest, so the
+  if (queries.rows() > 0 && dim_ != 0 && queries.dim() != dim_) {
+    VDT_LOG(kWarning) << "Collection::SearchBatch: query dim "
+                      << queries.dim() << " != collection dim " << dim_
+                      << "; returning empty results";
+    return std::vector<std::vector<Neighbor>>(queries.rows());
+  }
+  if (k == 0) {
+    VDT_LOG(kWarning)
+        << "Collection::SearchBatch: k must be > 0; returning empty results";
+    return std::vector<std::vector<Neighbor>>(queries.rows());
+  }
+  // The segment walk inside Search() is read-only between mutations, so the
   // shared batch engine needs no locking.
   return ParallelSearchBatch(
       queries.rows(),
@@ -142,29 +233,42 @@ void Collection::OverrideRuntimeSystem(const SystemConfig& system) {
   options_.system.graceful_time_ms = system.graceful_time_ms;
   options_.system.max_read_concurrency = system.max_read_concurrency;
   options_.system.cache_ratio = system.cache_ratio;
+  options_.system.compaction_deleted_ratio = system.compaction_deleted_ratio;
 }
 
 CollectionStats Collection::Stats() const {
   CollectionStats s;
   s.total_rows = static_cast<size_t>(next_id_);
+  s.num_compactions = compactions_;
   s.num_sealed_segments = sealed_.size();
   for (const auto& seg : sealed_) {
     if (seg->indexed()) ++s.num_indexed_segments;
     if (!seg->indexed()) s.growing_rows += seg->rows();  // brute-force rows
+    s.stored_rows += seg->rows();
+    s.live_rows += seg->live_rows();
     s.index_bytes_actual += seg->IndexMemoryBytes();
   }
-  if (growing_) s.growing_rows += growing_->rows();
+  if (growing_) {
+    s.growing_rows += growing_->rows();
+    s.stored_rows += growing_->rows();
+    s.live_rows += growing_->live_rows();
+  }
   s.growing_rows += buffer_.rows();
+  s.stored_rows += buffer_.rows();
+  s.live_rows += buffer_.rows() - buffer_deleted_;
   s.buffered_rows = buffer_.rows();
+  s.tombstoned_rows = s.stored_rows - s.live_rows;
 
-  s.data_mb_paper_scale = options_.scale.MbForRows(s.total_rows);
+  // Memory follows what is physically stored: tombstoned rows still occupy
+  // space until a compaction rewrites them away.
+  s.data_mb_paper_scale = options_.scale.MbForRows(s.stored_rows);
   // Index overhead relative to the data it covers, projected to paper scale.
   size_t covered_rows = 0;
   for (const auto& seg : sealed_) {
     if (seg->indexed()) covered_rows += seg->rows();
   }
   const double data_bytes_actual =
-      static_cast<double>(s.total_rows) * static_cast<double>(dim_) * 4.0;
+      static_cast<double>(s.stored_rows) * static_cast<double>(dim_) * 4.0;
   if (data_bytes_actual > 0 && covered_rows > 0) {
     const double index_ratio =
         static_cast<double>(s.index_bytes_actual) /

@@ -65,7 +65,11 @@ struct CollectionOptions {
 
 /// Aggregate statistics used by the cost model and the memory model.
 struct CollectionStats {
-  size_t total_rows = 0;
+  size_t total_rows = 0;     // rows ever inserted (ids handed out)
+  size_t stored_rows = 0;    // rows physically stored (live + tombstoned)
+  size_t live_rows = 0;      // stored rows that are not tombstoned
+  size_t tombstoned_rows = 0;  // stored - live
+  size_t num_compactions = 0;  // segment rewrites performed so far
   size_t num_sealed_segments = 0;
   size_t num_indexed_segments = 0;
   size_t growing_rows = 0;   // growing segment + insert buffer (brute force)
@@ -75,8 +79,9 @@ struct CollectionStats {
   double index_mb_paper_scale = 0.0;
 };
 
-/// The collection. Not thread-safe for concurrent inserts; Search is const
-/// and thread-safe after ingest completes.
+/// The collection. Not thread-safe for concurrent mutations (Insert,
+/// Delete, Compact, Flush); Search is const and thread-safe between
+/// mutations.
 class Collection {
  public:
   explicit Collection(CollectionOptions options);
@@ -86,19 +91,39 @@ class Collection {
   /// segment's index build fails (infeasible index parameters).
   Status Insert(const FloatMatrix& rows);
 
+  /// Tombstones the rows with collection ids `ids`, wherever they live
+  /// (sealed segments, the growing segment, or the insert buffer). Unknown
+  /// and already-deleted ids are ignored; `deleted` (may be null) receives
+  /// the number of rows newly tombstoned. Ends with a Compact() pass, so a
+  /// delete can trigger segment rewrites (and their index rebuilds) inline,
+  /// mirroring Milvus' single-segment compaction trigger.
+  Status Delete(const std::vector<int64_t>& ids, size_t* deleted = nullptr);
+
+  /// Rewrites every sealed segment whose tombstoned fraction exceeds
+  /// system.compaction_deleted_ratio from its live rows, rebuilding the
+  /// index through the normal seal path (parallel build included). Segments
+  /// left with zero live rows are dropped outright. Idempotent: a rewritten
+  /// segment has no tombstones, so a second pass is a no-op. `compacted`
+  /// (may be null) receives the number of segments rewritten or dropped.
+  Status Compact(size_t* compacted = nullptr);
+
   /// Flushes the insert buffer into the growing segment and seals every
   /// growing segment (end-of-ingest barrier, like Milvus flush+load).
   Status Flush();
 
-  /// Merged top-k across sealed segments, the growing segment, and the
-  /// insert buffer. Thread-safe.
+  /// Merged top-k over *live* rows across sealed segments, the growing
+  /// segment, and the insert buffer; tombstoned rows never surface.
+  /// Thread-safe. Invalid arguments (k == 0) log a warning and return
+  /// empty instead of invoking UB.
   std::vector<Neighbor> Search(const float* query, size_t k,
                                WorkCounters* counters) const;
 
   /// Search() for every row of `queries`, sharded one query per task across
   /// `executor` (ParallelExecutor::Global() when null). Result i corresponds
   /// to queries.Row(i); results and the counter aggregate are identical to
-  /// calling Search() sequentially in row order.
+  /// calling Search() sequentially in row order. A query dimension that does
+  /// not match the collection (or k == 0) logs a warning and returns one
+  /// empty result per query instead of invoking UB.
   std::vector<std::vector<Neighbor>> SearchBatch(
       const FloatMatrix& queries, size_t k, WorkCounters* counters,
       ParallelExecutor* executor = nullptr) const;
@@ -108,7 +133,8 @@ class Collection {
   void UpdateSearchParams(const IndexParams& params);
 
   /// Overrides the system knobs that do not affect the segment layout
-  /// (graceful_time, max_read_concurrency, cache_ratio); the cost and memory
+  /// (graceful_time, max_read_concurrency, cache_ratio, and the compaction
+  /// trigger ratio — inert until rows are deleted); the cost and memory
   /// models read them from options(). Layout-affecting fields are left
   /// untouched — callers guarantee they match (the build cache keys on them).
   void OverrideRuntimeSystem(const SystemConfig& system);
@@ -125,15 +151,23 @@ class Collection {
 
  private:
   Status SealGrowing();
+  /// Moves buffered rows (and their tombstone marks) into the growing
+  /// segment; creates the growing segment when absent.
+  void FlushBufferIntoGrowing();
 
   CollectionOptions options_;
   size_t dim_ = 0;
   int64_t next_id_ = 0;
+  size_t compactions_ = 0;  // segment rewrites so far (seeds the rebuilds)
 
   std::vector<std::unique_ptr<Segment>> sealed_;
   std::unique_ptr<Segment> growing_;
   FloatMatrix buffer_;       // insert buffer (pre-growing rows)
   int64_t buffer_base_ = 0;  // collection id of buffer_ row 0
+  /// Tombstones of buffered rows (1 = deleted), parallel to buffer_; carried
+  /// into the growing segment on flush so ids stay stable.
+  std::vector<uint8_t> buffer_tombstones_;
+  size_t buffer_deleted_ = 0;  // set bits in buffer_tombstones_
 };
 
 }  // namespace vdt

@@ -1,11 +1,15 @@
 // Segments: the storage unit of the VDMS. Growing segments accumulate rows
 // and are scanned brute-force; sealed segments own an immutable row range
-// and (above the build threshold) an ANNS index.
+// and (above the build threshold) an ANNS index. Deletes tombstone rows in
+// place (a per-segment bitmap filters them out of every search); compaction
+// rewrites a segment from its live rows, which is when a segment acquires an
+// explicit id map (live collection ids are no longer contiguous).
 #ifndef VDTUNER_VDMS_SEGMENT_H_
 #define VDTUNER_VDMS_SEGMENT_H_
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/float_matrix.h"
 #include "common/status.h"
@@ -14,7 +18,8 @@
 namespace vdt {
 
 /// One sealed or growing segment. Row ids inside the segment are local;
-/// `base_id` maps them back to collection row ids.
+/// `base_id` maps them back to collection row ids (contiguous range), unless
+/// the segment carries an explicit id map (post-compaction).
 class Segment {
  public:
   Segment(int64_t base_id, size_t dim) : base_id_(base_id), data_(0, dim) {}
@@ -22,26 +27,65 @@ class Segment {
   /// Appends one row (growing state only).
   void Append(const float* row, size_t dim) {
     data_.AppendRow(row, dim);
+    if (!tombstones_.empty()) tombstones_.push_back(0);
+  }
+
+  /// Appends one row under an explicit collection id (compaction rewrites).
+  /// Ids must be appended in ascending order; mixing with plain Append on
+  /// one segment is not supported.
+  void AppendWithId(const float* row, size_t dim, int64_t id) {
+    data_.AppendRow(row, dim);
+    ids_.push_back(id);
+    if (!tombstones_.empty()) tombstones_.push_back(0);
   }
 
   /// Seals the segment and builds `type` over its rows when they number at
   /// least `build_threshold`; otherwise the segment stays index-less and is
   /// scanned brute-force. The build shards across the executor selected by
   /// `params.build_threads` (0 = process-wide pool sized by VDT_THREADS);
-  /// see the VectorIndex::Build determinism contract.
+  /// see the VectorIndex::Build determinism contract. Tombstoned rows are
+  /// included in the build and filtered at search time.
   Status Seal(IndexType type, Metric metric, const IndexParams& params,
               int build_threshold, uint64_t seed);
 
-  /// Top-k within this segment; ids in the result are collection row ids.
+  /// Top-k live rows within this segment; ids in the result are collection
+  /// row ids. Tombstoned rows never surface.
   std::vector<Neighbor> Search(Metric metric, const float* query, size_t k,
                                WorkCounters* counters) const;
 
   /// Re-applies search-time knobs to the built index (no rebuild).
   void UpdateSearchParams(const IndexParams& params);
 
+  /// Tombstones the row whose collection id is `id`. Returns true when the
+  /// row exists here and was live; false for unknown or already-deleted ids.
+  bool Delete(int64_t id);
+
+  /// True when collection id `id` maps to a row of this segment.
+  bool Contains(int64_t id) const;
+
+  /// Collection id of local row `local`.
+  int64_t IdAt(size_t local) const {
+    return ids_.empty() ? base_id_ + static_cast<int64_t>(local)
+                        : ids_[local];
+  }
+
+  /// True when local row `local` is tombstoned.
+  bool IsDeleted(size_t local) const {
+    return !tombstones_.empty() && tombstones_[local] != 0;
+  }
+
   bool sealed() const { return sealed_; }
   bool indexed() const { return index_ != nullptr; }
   size_t rows() const { return data_.rows(); }
+  size_t deleted_rows() const { return deleted_; }
+  size_t live_rows() const { return data_.rows() - deleted_; }
+  /// Fraction of rows tombstoned (0 when empty).
+  double DeletedRatio() const {
+    return data_.rows() == 0
+               ? 0.0
+               : static_cast<double>(deleted_) /
+                     static_cast<double>(data_.rows());
+  }
   int64_t base_id() const { return base_id_; }
   const FloatMatrix& data() const { return data_; }
 
@@ -51,10 +95,19 @@ class Segment {
   }
 
  private:
+  /// Local-row index for collection id `id`, or -1 when absent.
+  int64_t LocalOf(int64_t id) const;
+
   int64_t base_id_;
   FloatMatrix data_;
   bool sealed_ = false;
   std::unique_ptr<VectorIndex> index_;
+  /// Explicit collection ids per row (ascending); empty = contiguous range
+  /// starting at base_id_. Set by compaction rewrites.
+  std::vector<int64_t> ids_;
+  /// Tombstone bitmap (1 = deleted); sized lazily on the first delete.
+  std::vector<uint8_t> tombstones_;
+  size_t deleted_ = 0;
 };
 
 }  // namespace vdt

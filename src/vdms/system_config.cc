@@ -12,7 +12,8 @@ std::string SystemConfig::ToString() const {
      << "MB gracefulTime=" << graceful_time_ms
      << "ms maxReadConcurrency=" << max_read_concurrency
      << " buildIndexThreshold=" << build_index_threshold
-     << " cacheRatio=" << cache_ratio;
+     << " cacheRatio=" << cache_ratio
+     << " compactionDeletedRatio=" << compaction_deleted_ratio;
   return os.str();
 }
 

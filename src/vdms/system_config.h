@@ -1,6 +1,8 @@
-// The seven tunable system parameters of the VDMS (paper §V-A tunes 7 system
+// The tunable system parameters of the VDMS (paper §V-A tunes 7 system
 // parameters recommended by the Milvus configuration documentation, plus the
-// index type and 8 index parameters = 16 dimensions).
+// index type and 8 index parameters = 16 dimensions; this tree adds an 8th
+// system knob, the compaction trigger ratio, for the dynamic-data
+// extension).
 #ifndef VDTUNER_VDMS_SYSTEM_CONFIG_H_
 #define VDTUNER_VDMS_SYSTEM_CONFIG_H_
 
@@ -26,6 +28,12 @@ namespace vdt {
 ///  - cache_ratio             queryNode cache budget as a fraction of the
 ///                            collection size; misses pay a bandwidth
 ///                            penalty, residency costs memory.
+///  - compaction_deleted_ratio  dataCoord.compaction singleCompaction
+///                            deleted-rows proportion: a sealed segment
+///                            whose tombstoned fraction *exceeds* this is
+///                            rewritten from its live rows (index rebuilt).
+///                            1.0 disables compaction (a ratio can never
+///                            exceed it).
 struct SystemConfig {
   double segment_max_size_mb = 512.0;
   double seal_proportion = 0.12;
@@ -34,6 +42,7 @@ struct SystemConfig {
   int max_read_concurrency = 32;
   int build_index_threshold = 128;
   double cache_ratio = 0.30;
+  double compaction_deleted_ratio = 0.2;
 
   std::string ToString() const;
 };

@@ -41,6 +41,25 @@ Status VdmsEngine::Insert(const std::string& name, const FloatMatrix& rows) {
   return it->second->Insert(rows);
 }
 
+Status VdmsEngine::Delete(const std::string& name,
+                          const std::vector<int64_t>& ids, size_t* deleted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' not found");
+  }
+  return it->second->Delete(ids, deleted);
+}
+
+Status VdmsEngine::Compact(const std::string& name, size_t* compacted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' not found");
+  }
+  return it->second->Compact(compacted);
+}
+
 Status VdmsEngine::Flush(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = collections_.find(name);
@@ -53,16 +72,17 @@ Status VdmsEngine::Flush(const std::string& name) {
 Result<std::vector<Neighbor>> VdmsEngine::Search(const std::string& name,
                                                  const float* query, size_t k,
                                                  WorkCounters* counters) const {
-  const Collection* coll = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = collections_.find(name);
-    if (it == collections_.end()) {
-      return Status::NotFound("collection '" + name + "' not found");
-    }
-    coll = it->second.get();
+  // The lock is held for the whole search: Delete/Compact replace and free
+  // segments in place, so a search racing a mutation would read freed
+  // memory. Engine-level search is the convenience surface, not the hot
+  // path (the evaluator drives Collection::SearchBatch directly with
+  // external synchronization), so serializing here costs nothing real.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' not found");
   }
-  return coll->Search(query, k, counters);
+  return it->second->Search(query, k, counters);
 }
 
 Result<CollectionStats> VdmsEngine::GetStats(const std::string& name) const {

@@ -1,6 +1,10 @@
 // VdmsEngine: the top-level database API (create/drop collections, insert,
-// flush, search). A thin, thread-safe management layer over Collection —
-// this is the surface the examples program against.
+// delete, compact, flush, search). A thin, thread-safe management layer
+// over Collection — every operation (including Search, which would
+// otherwise race segment-freeing Delete/Compact) serializes on one engine
+// mutex. This is the convenience surface the examples program against;
+// performance-critical callers use Collection directly with external
+// synchronization.
 #ifndef VDTUNER_VDMS_VDMS_H_
 #define VDTUNER_VDMS_VDMS_H_
 
@@ -34,6 +38,15 @@ class VdmsEngine {
 
   /// Inserts rows into `name`.
   Status Insert(const std::string& name, const FloatMatrix& rows);
+
+  /// Tombstones rows of `name` by collection id; unknown/already-deleted
+  /// ids are ignored. `deleted` (may be null) receives the newly-deleted
+  /// count. May trigger inline compaction (see Collection::Delete).
+  Status Delete(const std::string& name, const std::vector<int64_t>& ids,
+                size_t* deleted = nullptr);
+
+  /// Runs the compaction pass on `name` (see Collection::Compact).
+  Status Compact(const std::string& name, size_t* compacted = nullptr);
 
   /// Flushes buffered rows and seals growing segments of `name`.
   Status Flush(const std::string& name);

@@ -19,6 +19,7 @@
 #include "tests/test_util.h"
 #include "tuner/evaluator.h"
 #include "vdms/collection.h"
+#include "workload/churn.h"
 #include "workload/workload.h"
 
 namespace vdt {
@@ -298,6 +299,66 @@ TEST(EvaluatorBuildParityTest, BuildThreadsOverrideKeepsOutcome) {
   EXPECT_EQ(seq.qps, par.qps);
   EXPECT_EQ(seq.recall, par.recall);
   EXPECT_EQ(seq.memory_gib, par.memory_gib);
+}
+
+// A churn (insert/delete/search/compaction) evaluation must produce the
+// identical tuning trajectory — same configs, same QPS/recall/memory — at
+// any eval_threads/build_threads width. Covers the kmeans family and FLAT;
+// HNSW keeps its documented sequential-vs-batched build-mode distinction.
+TEST(EvaluatorChurnParityTest, TrajectoryIdenticalAcrossWidths) {
+  FloatMatrix data = ClusteredMatrix(1500, 16, 8, 0.3, 71);
+  ChurnSpec spec;
+  spec.num_queries = 10;
+  spec.k = 10;
+  spec.rounds = 3;
+  spec.initial_fraction = 0.4;
+  spec.delete_fraction = 0.2;
+  spec.searches_per_round = 4;
+  const ChurnWorkload churn =
+      MakeChurnWorkload(DatasetProfile::kGlove, data, spec, 72);
+
+  // The "trajectory": a fixed sequence of configurations, as a tuner would
+  // visit them.
+  std::vector<TuningConfig> trajectory;
+  for (const IndexType type :
+       {IndexType::kIvfFlat, IndexType::kIvfSq8, IndexType::kFlat,
+        IndexType::kScann}) {
+    TuningConfig config;
+    config.index_type = type;
+    config.index.nlist = 16;
+    config.index.nprobe = 8;
+    config.index.reorder_k = 64;
+    config.system.build_index_threshold = 32;
+    config.system.compaction_deleted_ratio = 0.15;  // deletes will trip it
+    trajectory.push_back(config);
+  }
+
+  auto run = [&](size_t eval_threads, size_t build_threads) {
+    VdmsEvaluatorOptions opts;
+    opts.profile = DatasetProfile::kGlove;
+    opts.seed = 13;
+    opts.eval_threads = eval_threads;
+    opts.build_threads = build_threads;
+    opts.churn = &churn;
+    VdmsEvaluator evaluator(&data, /*workload=*/nullptr, opts);
+    std::vector<EvalOutcome> outcomes;
+    for (const TuningConfig& config : trajectory) {
+      outcomes.push_back(evaluator.Evaluate(config));
+    }
+    return outcomes;
+  };
+
+  const auto seq = run(1, 1);
+  const auto par = run(4, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_FALSE(seq[i].failed) << i << ": " << seq[i].fail_reason;
+    ASSERT_FALSE(par[i].failed) << i << ": " << par[i].fail_reason;
+    EXPECT_EQ(seq[i].qps, par[i].qps) << i;
+    EXPECT_EQ(seq[i].recall, par[i].recall) << i;
+    EXPECT_EQ(seq[i].memory_gib, par[i].memory_gib) << i;
+    EXPECT_EQ(seq[i].eval_seconds, par[i].eval_seconds) << i;
+  }
 }
 
 // ------------------------------------------------------ build error naming

@@ -63,6 +63,50 @@ TEST(KnowledgeBaseTest, ObservationLineRoundTrip) {
   }
 }
 
+// Files written before the compaction-ratio dimension existed (v1 header,
+// 16 coordinates per record) load with the missing trailing coordinate
+// padded to the knob's encoded default; a truncated record in a v2 file is
+// corruption and fails loudly.
+TEST(KnowledgeBaseTest, Pre17DimFilesMigrateOnLoad) {
+  ParamSpace space;
+  const auto history = MakeHistory(3, 2);
+  const std::string path = TempPath("kb_v1_migration.tsv");
+  {
+    std::ofstream out(path);
+    out << "vdtuner-knowledge-base-v1\n";
+    for (const Observation& obs : history) {
+      std::string line = SerializeObservation(obs, space);
+      // Strip the last (compaction-ratio) coordinate: the v1 record layout.
+      line.resize(line.rfind('\t'));
+      out << line << '\n';
+    }
+  }
+  const auto loaded = LoadKnowledgeBase(path, space);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    const Observation& back = (*loaded)[i];
+    ASSERT_EQ(back.x.size(), space.dims());
+    EXPECT_NEAR(back.config.system.compaction_deleted_ratio, 0.2, 1e-9);
+    for (size_t d = 0; d + 1 < space.dims(); ++d) {
+      EXPECT_DOUBLE_EQ(back.x[d], history[i].x[d]) << "row " << i;
+    }
+  }
+  std::remove(path.c_str());
+
+  // Same truncated record under a v2 header: corruption, not migration.
+  const std::string bad_path = TempPath("kb_v2_truncated.tsv");
+  {
+    std::ofstream out(bad_path);
+    out << "vdtuner-knowledge-base-v2 dims=" << space.dims() << '\n';
+    std::string line = SerializeObservation(history[0], space);
+    line.resize(line.rfind('\t'));
+    out << line << '\n';
+  }
+  EXPECT_FALSE(LoadKnowledgeBase(bad_path, space).ok());
+  std::remove(bad_path.c_str());
+}
+
 TEST(KnowledgeBaseTest, FileRoundTrip) {
   ParamSpace space;
   const auto history = MakeHistory(12, 2);

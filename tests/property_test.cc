@@ -1,11 +1,16 @@
 // Cross-module property tests: invariants that must hold across parameter
 // sweeps — collection search correctness under arbitrary segment layouts,
-// index recall monotonicity, hypervolume monotonicity, NPI/EHVI sanity,
-// cost-model monotonicities, and failure-injection paths.
+// the dynamic-lifecycle oracle harness (randomized insert/delete/search
+// sequences against a brute-force live-set reference, across seal and
+// compaction boundaries), index recall monotonicity, hypervolume
+// monotonicity, NPI/EHVI sanity, cost-model monotonicities, and
+// failure-injection paths.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
+#include <tuple>
+#include <utility>
 
 #include "mobo/ehvi.h"
 #include "mobo/hypervolume.h"
@@ -101,6 +106,194 @@ TEST_P(CollectionLayoutTest, IdsArePreservedAndUnique) {
   }
   EXPECT_EQ(found.size(), (n + 36) / 37);
 }
+
+// --------------------------------------------- dynamic lifecycle oracle
+
+// Brute-force reference over the live set: an independent mirror of what
+// the collection should contain. Deliberately reimplements top-k with a
+// plain sort (no TopKCollector, no RowFilter) so the oracle shares no code
+// path with the system under test.
+class LiveSetOracle {
+ public:
+  LiveSetOracle(const FloatMatrix* data, Metric metric)
+      : data_(data), metric_(metric), state_(data->rows(), 0) {}
+
+  void Insert(size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) state_[i] = 1;
+  }
+  void Delete(int64_t id) {
+    if (id >= 0 && id < static_cast<int64_t>(state_.size())) state_[id] = 2;
+  }
+  bool IsLive(int64_t id) const {
+    return id >= 0 && id < static_cast<int64_t>(state_.size()) &&
+           state_[id] == 1;
+  }
+  size_t live() const {
+    size_t n = 0;
+    for (const uint8_t s : state_) n += s == 1 ? 1 : 0;
+    return n;
+  }
+  std::vector<int64_t> LiveIds() const {
+    std::vector<int64_t> ids;
+    for (size_t i = 0; i < state_.size(); ++i) {
+      if (state_[i] == 1) ids.push_back(static_cast<int64_t>(i));
+    }
+    return ids;
+  }
+
+  /// Exact top-k ids over the live set, distance-ascending (ties by id).
+  std::vector<int64_t> TopK(const float* query, size_t k) const {
+    std::vector<std::pair<float, int64_t>> scored;
+    for (size_t i = 0; i < state_.size(); ++i) {
+      if (state_[i] != 1) continue;
+      scored.emplace_back(
+          Distance(metric_, query, data_->Row(i), data_->dim()),
+          static_cast<int64_t>(i));
+    }
+    std::sort(scored.begin(), scored.end());
+    if (scored.size() > k) scored.resize(k);
+    std::vector<int64_t> ids;
+    ids.reserve(scored.size());
+    for (const auto& [d, id] : scored) ids.push_back(id);
+    return ids;
+  }
+
+ private:
+  const FloatMatrix* data_;
+  Metric metric_;
+  std::vector<uint8_t> state_;  // 0 = not inserted, 1 = live, 2 = deleted
+};
+
+class LifecycleOracleTest
+    : public ::testing::TestWithParam<std::tuple<IndexType, uint64_t>> {};
+
+// Randomized insert/delete/search sequences, checked step by step against
+// the brute-force live-set oracle, across seal and compaction boundaries.
+// Hard invariants for every index type: no tombstoned id ever surfaces, and
+// never more than min(k, live) results. FLAT must match the oracle exactly;
+// the ANN types must keep mean live-set recall above a tolerance.
+TEST_P(LifecycleOracleTest, FilteredSearchMatchesLiveSetOracle) {
+  const auto [type, seed] = GetParam();
+  const size_t n = 1600, dim = 16, k = 10;
+  const FloatMatrix data = ClusteredMatrix(n, dim, 10, 0.3, seed);
+  const FloatMatrix queries = ClusteredMatrix(12, dim, 10, 0.33, seed ^ 0x9);
+
+  CollectionOptions opts;
+  opts.metric = Metric::kAngular;
+  opts.scale.dataset_mb = 100.0;
+  opts.scale.actual_rows = n;
+  opts.index.type = type;
+  // Generous search effort so ANN recall stays near-exact; the harness is
+  // probing lifecycle correctness, not recall/speed tradeoffs.
+  opts.index.params.nlist = 12;
+  opts.index.params.nprobe = 12;
+  opts.index.params.m = 8;
+  opts.index.params.nbits = 8;
+  opts.index.params.hnsw_m = 16;
+  opts.index.params.ef_construction = 128;
+  opts.index.params.ef = 96;
+  opts.index.params.reorder_k = 120;
+  // Layout: ~240-row sealed segments, 40-row insert buffer, everything
+  // above 32 rows indexed, compaction at >25% tombstoned.
+  opts.system.segment_max_size_mb = 100.0;
+  opts.system.seal_proportion = 0.15;
+  opts.system.insert_buf_size_mb = 2.5;
+  opts.system.build_index_threshold = 32;
+  opts.system.compaction_deleted_ratio = 0.25;
+  opts.seed = seed;
+  Collection coll(opts);
+  LiveSetOracle oracle(&data, Metric::kAngular);
+  Rng rng(seed ^ static_cast<uint64_t>(type));
+
+  double recall_sum = 0.0;
+  size_t searches = 0;
+  auto check_searches = [&]() {
+    for (size_t q = 0; q < queries.rows(); q += 3) {
+      const auto got = coll.Search(queries.Row(q), k, nullptr);
+      const auto expected = oracle.TopK(queries.Row(q), k);
+      const size_t live = oracle.live();
+      ASSERT_LE(got.size(), std::min(k, live));
+      for (const Neighbor& hit : got) {
+        ASSERT_TRUE(oracle.IsLive(hit.id))
+            << "tombstoned or never-inserted id " << hit.id << " surfaced";
+      }
+      if (type == IndexType::kFlat) {
+        ASSERT_EQ(got.size(), expected.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].id, expected[i]) << "rank " << i;
+        }
+      } else if (!expected.empty()) {
+        const std::set<int64_t> truth(expected.begin(), expected.end());
+        size_t found = 0;
+        for (const Neighbor& hit : got) found += truth.count(hit.id);
+        recall_sum +=
+            static_cast<double>(found) / static_cast<double>(truth.size());
+        ++searches;
+      }
+    }
+  };
+
+  // Mixed timeline: insert chunks, delete random live samples, search after
+  // every step. Segment seals and compactions trigger inline as the knobs
+  // dictate.
+  size_t pos = 0;
+  while (pos < n) {
+    const size_t chunk =
+        std::min(n - pos, 50 + static_cast<size_t>(rng.UniformInt(150)));
+    ASSERT_TRUE(coll.Insert(data.Slice(pos, pos + chunk)).ok());
+    oracle.Insert(pos, pos + chunk);
+    pos += chunk;
+
+    if (rng.Uniform() < 0.7) {
+      auto live_ids = oracle.LiveIds();
+      rng.Shuffle(&live_ids);
+      const size_t want = static_cast<size_t>(
+          static_cast<double>(live_ids.size()) *
+          rng.Uniform(0.05, 0.2));
+      live_ids.resize(want);
+      ASSERT_TRUE(coll.Delete(live_ids).ok());
+      for (const int64_t id : live_ids) oracle.Delete(id);
+    }
+    check_searches();
+  }
+
+  // Seal boundary: flush everything, re-check.
+  ASSERT_TRUE(coll.Flush().ok());
+  check_searches();
+
+  // Compaction boundary: delete enough to trip the threshold everywhere,
+  // force the pass, re-check.
+  auto live_ids = oracle.LiveIds();
+  rng.Shuffle(&live_ids);
+  live_ids.resize(live_ids.size() / 2);
+  ASSERT_TRUE(coll.Delete(live_ids).ok());
+  for (const int64_t id : live_ids) oracle.Delete(id);
+  size_t compacted = 0;
+  ASSERT_TRUE(coll.Compact(&compacted).ok());
+  check_searches();
+
+  const CollectionStats stats = coll.Stats();
+  EXPECT_EQ(stats.live_rows, oracle.live());
+  EXPECT_GT(stats.num_compactions, 0u);
+  if (type != IndexType::kFlat) {
+    ASSERT_GT(searches, 0u);
+    // PQ's ADC scoring is lossy by design; every other ANN type runs at
+    // near-exhaustive effort here.
+    const double tolerance = type == IndexType::kIvfPq ? 0.8 : 0.9;
+    EXPECT_GE(recall_sum / static_cast<double>(searches), tolerance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TypesAndSeeds, LifecycleOracleTest,
+    ::testing::Combine(::testing::Values(IndexType::kFlat, IndexType::kIvfFlat,
+                                         IndexType::kIvfSq8, IndexType::kIvfPq,
+                                         IndexType::kHnsw, IndexType::kScann),
+                       ::testing::Values(201u, 202u)),
+    [](const ::testing::TestParamInfo<std::tuple<IndexType, uint64_t>>& info) {
+      return std::string(IndexTypeName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 // --------------------------------------------------------- hypervolume
 

@@ -20,10 +20,12 @@ namespace {
 
 // ------------------------------------------------------------ param space
 
-TEST(ParamSpaceTest, HasSixteenDimensions) {
+// The paper's 16 dimensions plus the compaction trigger ratio (dynamic-data
+// extension) = 17.
+TEST(ParamSpaceTest, HasSeventeenDimensions) {
   ParamSpace space;
-  EXPECT_EQ(space.dims(), 16u);
-  EXPECT_EQ(static_cast<size_t>(kNumParamDims), 16u);
+  EXPECT_EQ(space.dims(), 17u);
+  EXPECT_EQ(static_cast<size_t>(kNumParamDims), 17u);
 }
 
 TEST(ParamSpaceTest, EncodeDecodeRoundTrip) {
@@ -84,12 +86,21 @@ TEST(ParamSpaceTest, ActiveDimsMatchTableOne) {
   EXPECT_TRUE(has(scann, kDimReorderK));
   const auto flat = space.ActiveDims(IndexType::kFlat);
   EXPECT_FALSE(has(flat, kDimNlist));
-  // Every type keeps all 7 system dims.
+  // Every type keeps the paper's 7 system dims; the compaction ratio is
+  // inert without deletes, so it is active only on dynamic workloads.
+  ParamSpace dynamic(/*dynamic_workload=*/true);
   for (int t = 0; t < kNumIndexTypes; ++t) {
     const auto dims = space.ActiveDims(static_cast<IndexType>(t));
     for (size_t d = kDimSegmentMaxSize; d < kNumParamDims; ++d) {
+      if (d == kDimCompactionRatio) {
+        EXPECT_FALSE(has(dims, d)) << "type " << t;
+        continue;
+      }
       EXPECT_TRUE(has(dims, d)) << "type " << t << " missing system dim " << d;
     }
+    EXPECT_TRUE(has(dynamic.ActiveDims(static_cast<IndexType>(t)),
+                    kDimCompactionRatio))
+        << "type " << t;
   }
 }
 

@@ -269,6 +269,223 @@ TEST(VdmsEngineTest, CollectionLifecycle) {
             StatusCode::kNotFound);
 }
 
+// --------------------------------------------------- dynamic lifecycle
+
+// Options with compaction disabled (ratio 1.0 can never be exceeded) so
+// tombstones stay observable.
+CollectionOptions LifecycleOptions(size_t actual_rows,
+                                   double compaction_ratio = 1.0) {
+  auto opts = SmallOptions(actual_rows, 100.0);
+  opts.index.type = IndexType::kFlat;
+  opts.system.segment_max_size_mb = 100.0;
+  opts.system.seal_proportion = 0.1;  // 10% of the dataset per sealed segment
+  opts.system.insert_buf_size_mb = 2.5;
+  opts.system.compaction_deleted_ratio = compaction_ratio;
+  return opts;
+}
+
+TEST(LifecycleTest, DeleteUnknownAndRepeatedIdsAreIgnored) {
+  const size_t n = 300;
+  Collection coll(LifecycleOptions(n));
+  FloatMatrix data = RandomMatrix(n, 16, 61);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+
+  size_t deleted = 0;
+  ASSERT_TRUE(coll.Delete({-5, static_cast<int64_t>(n), 1 << 20}, &deleted).ok());
+  EXPECT_EQ(deleted, 0u);
+  ASSERT_TRUE(coll.Delete({7, 7, 8}, &deleted).ok());
+  EXPECT_EQ(deleted, 2u);  // the duplicate in one call is ignored too
+  ASSERT_TRUE(coll.Delete({7, 8}, &deleted).ok());
+  EXPECT_EQ(deleted, 0u);  // already deleted
+  const CollectionStats stats = coll.Stats();
+  EXPECT_EQ(stats.tombstoned_rows, 2u);
+  EXPECT_EQ(stats.live_rows, n - 2);
+}
+
+TEST(LifecycleTest, DeleteSpansBufferGrowingAndSealedRows) {
+  const size_t n = 1000;
+  auto opts = LifecycleOptions(n);
+  // 100-row sealed segments, 25-row buffer; insert 940 rows so sealed,
+  // growing, and buffered rows all exist at delete time.
+  Collection coll(opts);
+  FloatMatrix data = RandomMatrix(n, 16, 62);
+  ASSERT_TRUE(coll.Insert(data.Slice(0, 940)).ok());
+  const CollectionStats before = coll.Stats();
+  ASSERT_GT(before.num_sealed_segments, 0u);
+  ASSERT_GT(before.buffered_rows, 0u);
+  ASSERT_GT(before.growing_rows, before.buffered_rows);
+
+  // One id from each tier: sealed (early), growing (late), buffer (last).
+  const std::vector<int64_t> victims = {3, 910, 939};
+  size_t deleted = 0;
+  ASSERT_TRUE(coll.Delete(victims, &deleted).ok());
+  EXPECT_EQ(deleted, victims.size());
+  EXPECT_EQ(coll.Stats().tombstoned_rows, victims.size());
+
+  for (const int64_t id : victims) {
+    const auto hits = coll.Search(data.Row(id), 1, nullptr);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].id, id) << "deleted row " << id << " surfaced";
+  }
+  // Tombstones survive the flush (buffer -> growing -> sealed carry-over).
+  ASSERT_TRUE(coll.Flush().ok());
+  EXPECT_EQ(coll.Stats().tombstoned_rows, victims.size());
+  for (const int64_t id : victims) {
+    const auto hits = coll.Search(data.Row(id), 1, nullptr);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].id, id) << "deleted row " << id << " after flush";
+  }
+}
+
+TEST(LifecycleTest, KGreaterThanLiveRowsReturnsAllLive) {
+  const size_t n = 20;
+  Collection coll(LifecycleOptions(n));
+  FloatMatrix data = RandomMatrix(n, 16, 63);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+
+  std::vector<int64_t> victims;
+  for (int64_t id = 0; id < 15; ++id) victims.push_back(id);
+  ASSERT_TRUE(coll.Delete(victims).ok());
+
+  const auto hits = coll.Search(data.Row(19), 10, nullptr);
+  EXPECT_EQ(hits.size(), 5u);  // only 5 live rows remain
+  for (const Neighbor& hit : hits) EXPECT_GE(hit.id, 15);
+}
+
+TEST(LifecycleTest, DeleteAllThenReinsert) {
+  const size_t n = 400;
+  Collection coll(LifecycleOptions(n, /*compaction_ratio=*/0.2));
+  FloatMatrix data = RandomMatrix(2 * n, 16, 64);
+  ASSERT_TRUE(coll.Insert(data.Slice(0, n)).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+
+  std::vector<int64_t> all;
+  for (size_t id = 0; id < n; ++id) all.push_back(static_cast<int64_t>(id));
+  size_t deleted = 0;
+  ASSERT_TRUE(coll.Delete(all, &deleted).ok());
+  EXPECT_EQ(deleted, n);
+
+  CollectionStats stats = coll.Stats();
+  EXPECT_EQ(stats.live_rows, 0u);
+  // Fully-tombstoned sealed segments are dropped by the compaction pass.
+  EXPECT_EQ(stats.num_sealed_segments, 0u);
+  EXPECT_TRUE(coll.Search(data.Row(0), 5, nullptr).empty());
+
+  // Reinsert: ids continue after the deleted range; search works again.
+  ASSERT_TRUE(coll.Insert(data.Slice(n, 2 * n)).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+  stats = coll.Stats();
+  EXPECT_EQ(stats.live_rows, n);
+  EXPECT_EQ(stats.total_rows, 2 * n);
+  const auto hits = coll.Search(data.Row(n + 37), 1, nullptr);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, static_cast<int64_t>(n + 37));
+}
+
+TEST(LifecycleTest, CompactionRewritesAndIsIdempotent) {
+  const size_t n = 600;
+  auto opts = LifecycleOptions(n, /*compaction_ratio=*/0.2);
+  opts.index.type = IndexType::kIvfFlat;
+  Collection coll(opts);
+  FloatMatrix data = RandomMatrix(n, 16, 65);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+
+  // Tombstone 40% of one segment's range: only segments over the 20%
+  // threshold rewrite.
+  std::vector<int64_t> victims;
+  for (int64_t id = 0; id < 24; ++id) victims.push_back(id);
+  ASSERT_TRUE(coll.Delete(victims).ok());
+
+  const CollectionStats after = coll.Stats();
+  EXPECT_GT(after.num_compactions, 0u);
+  EXPECT_EQ(after.tombstoned_rows, 0u);  // rewritten away
+  EXPECT_EQ(after.live_rows, n - victims.size());
+  EXPECT_EQ(after.stored_rows, n - victims.size());
+
+  // Idempotence: another pass changes nothing.
+  size_t compacted = 1;
+  ASSERT_TRUE(coll.Compact(&compacted).ok());
+  EXPECT_EQ(compacted, 0u);
+  EXPECT_EQ(coll.Stats().num_compactions, after.num_compactions);
+
+  // Ids survive the rewrite: every live row still finds itself.
+  for (size_t i = 24; i < n; i += 97) {
+    const auto hits = coll.Search(data.Row(i), 1, nullptr);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].id, static_cast<int64_t>(i));
+  }
+  // Deleting a compacted-away id is a no-op.
+  size_t deleted = 7;
+  ASSERT_TRUE(coll.Delete({3}, &deleted).ok());
+  EXPECT_EQ(deleted, 0u);
+}
+
+TEST(LifecycleTest, StatsReportLiveVsTombstoned) {
+  const size_t n = 500;
+  Collection coll(LifecycleOptions(n));
+  FloatMatrix data = RandomMatrix(n, 16, 66);
+  ASSERT_TRUE(coll.Insert(data).ok());
+  ASSERT_TRUE(coll.Flush().ok());
+
+  CollectionStats stats = coll.Stats();
+  EXPECT_EQ(stats.stored_rows, n);
+  EXPECT_EQ(stats.live_rows, n);
+  EXPECT_EQ(stats.tombstoned_rows, 0u);
+  EXPECT_EQ(stats.num_compactions, 0u);
+
+  std::vector<int64_t> victims;
+  for (int64_t id = 100; id < 150; ++id) victims.push_back(id);
+  ASSERT_TRUE(coll.Delete(victims).ok());
+  stats = coll.Stats();
+  EXPECT_EQ(stats.total_rows, n);       // ids ever handed out
+  EXPECT_EQ(stats.stored_rows, n);      // compaction disabled: still stored
+  EXPECT_EQ(stats.live_rows, n - 50);
+  EXPECT_EQ(stats.tombstoned_rows, 50u);
+}
+
+TEST(LifecycleTest, SearchValidatesArguments) {
+  const size_t n = 200;
+  Collection coll(LifecycleOptions(n));
+  FloatMatrix data = RandomMatrix(n, 16, 67);
+  ASSERT_TRUE(coll.Insert(data).ok());
+
+  // k == 0: empty result, no UB.
+  EXPECT_TRUE(coll.Search(data.Row(0), 0, nullptr).empty());
+  EXPECT_TRUE(coll.Search(nullptr, 5, nullptr).empty());
+
+  // Batch with mismatched query dimension: one empty result per query.
+  FloatMatrix bad_queries = RandomMatrix(4, 8, 68);
+  const auto batch = coll.SearchBatch(bad_queries, 5, nullptr);
+  ASSERT_EQ(batch.size(), 4u);
+  for (const auto& hits : batch) EXPECT_TRUE(hits.empty());
+  EXPECT_TRUE(coll.SearchBatch(data, 0, nullptr)[0].empty());
+}
+
+TEST(VdmsEngineTest, DeleteAndCompactPassThrough) {
+  VdmsEngine engine;
+  auto opts = LifecycleOptions(300, /*compaction_ratio=*/0.2);
+  opts.name = "churny";
+  ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  FloatMatrix data = RandomMatrix(300, 16, 69);
+  ASSERT_TRUE(engine.Insert("churny", data).ok());
+  ASSERT_TRUE(engine.Flush("churny").ok());
+
+  size_t deleted = 0;
+  ASSERT_TRUE(engine.Delete("churny", {1, 2, 3}, &deleted).ok());
+  EXPECT_EQ(deleted, 3u);
+  size_t compacted = 0;
+  ASSERT_TRUE(engine.Compact("churny", &compacted).ok());
+
+  EXPECT_EQ(engine.Delete("missing", {1}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.Compact("missing").code(), StatusCode::kNotFound);
+  const auto stats = engine.GetStats("churny");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->live_rows, 297u);
+}
+
 // Property sweep (Fig. 1 mechanism): for fixed maxSize, lowering the seal
 // proportion means smaller sealed segments -> more per-segment overhead
 // units. Checks the monotone relationship the heatmap relies on.

@@ -1,10 +1,13 @@
 // Tests for src/workload: dataset generators, ground truth/recall, the cost
-// model's monotonicities, and the replay engine in both modes.
+// model's monotonicities, the replay engine in both modes, and the churn
+// (mixed insert/delete/search) timeline generator + replay.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "tests/test_util.h"
+#include "workload/churn.h"
 #include "workload/replay.h"
 
 namespace vdt {
@@ -286,6 +289,120 @@ TEST(ReplayTest, TimeoutMarksFailure) {
   const ReplayResult r = ReplayWorkload(coll, w, opts);
   EXPECT_TRUE(r.failed);
   EXPECT_FALSE(r.fail_reason.empty());
+}
+
+// ------------------------------------------------------------ churn
+
+TEST(ChurnWorkloadTest, GeneratorIsDeterministicAndTruthTracksLiveSet) {
+  const auto data = GenerateDataset(DatasetProfile::kGlove, 800, 16, 81);
+  ChurnSpec spec;
+  spec.num_queries = 8;
+  spec.k = 6;
+  spec.rounds = 3;
+  spec.delete_fraction = 0.2;
+  spec.searches_per_round = 3;
+
+  const auto a = MakeChurnWorkload(DatasetProfile::kGlove, data, spec, 82);
+  const auto b = MakeChurnWorkload(DatasetProfile::kGlove, data, spec, 82);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind) << i;
+    EXPECT_EQ(a.ops[i].delete_ids, b.ops[i].delete_ids) << i;
+    EXPECT_EQ(a.ops[i].truth, b.ops[i].truth) << i;
+  }
+  EXPECT_GT(a.num_searches(), 0u);
+  EXPECT_GT(a.num_deletes(), 0u);
+
+  // Walk the timeline: every search op's truth must be exactly the rows
+  // live at that point (subset check + size check).
+  std::set<int64_t> live;
+  for (const ChurnOp& op : a.ops) {
+    switch (op.kind) {
+      case OpKind::kInsert:
+        for (size_t r = op.insert_begin; r < op.insert_end; ++r) {
+          live.insert(static_cast<int64_t>(r));
+        }
+        break;
+      case OpKind::kDelete:
+        for (const int64_t id : op.delete_ids) {
+          EXPECT_EQ(live.erase(id), 1u) << "delete of non-live id " << id;
+        }
+        break;
+      case OpKind::kSearch:
+        EXPECT_EQ(op.truth.size(), std::min<size_t>(spec.k, live.size()));
+        for (const int64_t id : op.truth) {
+          EXPECT_TRUE(live.count(id) > 0)
+              << "truth contains non-live id " << id;
+        }
+        break;
+    }
+  }
+  // The full base matrix ends up inserted.
+  size_t inserted = 0;
+  for (const ChurnOp& op : a.ops) {
+    if (op.kind == OpKind::kInsert) inserted += op.insert_end - op.insert_begin;
+  }
+  EXPECT_EQ(inserted, data.rows());
+}
+
+TEST(ChurnReplayTest, FlatReplayIsExactAndCountsMutations) {
+  const auto data = GenerateDataset(DatasetProfile::kGlove, 900, 16, 83);
+  ChurnSpec spec;
+  spec.num_queries = 8;
+  spec.k = 8;
+  spec.rounds = 3;
+  spec.delete_fraction = 0.25;
+  spec.searches_per_round = 4;
+  const auto churn = MakeChurnWorkload(DatasetProfile::kGlove, data, spec, 84);
+
+  CollectionOptions copts;
+  copts.metric = Metric::kAngular;
+  copts.scale.dataset_mb = 100.0;
+  copts.scale.actual_rows = data.rows();
+  copts.index.type = IndexType::kFlat;
+  copts.system.segment_max_size_mb = 100.0;
+  copts.system.seal_proportion = 0.1;
+  copts.system.insert_buf_size_mb = 2.5;
+  copts.system.build_index_threshold = 32;
+  copts.system.compaction_deleted_ratio = 0.15;
+  Collection coll(copts);
+
+  ReplayOptions ropts;
+  const ChurnReplayResult result = ReplayChurn(&coll, churn, ropts);
+  ASSERT_FALSE(result.failed) << result.fail_reason;
+  // FLAT search over the live set is exact, and the timeline's ground truth
+  // is exact over the same live set.
+  EXPECT_DOUBLE_EQ(result.recall, 1.0);
+  EXPECT_EQ(result.searches, churn.num_searches());
+  EXPECT_EQ(result.rows_deleted, churn.num_deletes());
+  EXPECT_GT(result.compactions, 0u);  // 25%/round deletes beat the 15% knob
+  EXPECT_GT(result.qps, 0.0);
+  EXPECT_GT(result.memory_gib, 0.0);
+
+  // The final collection state matches the timeline's final live set.
+  std::set<int64_t> live;
+  for (const ChurnOp& op : churn.ops) {
+    if (op.kind == OpKind::kInsert) {
+      for (size_t r = op.insert_begin; r < op.insert_end; ++r) {
+        live.insert(static_cast<int64_t>(r));
+      }
+    } else if (op.kind == OpKind::kDelete) {
+      for (const int64_t id : op.delete_ids) live.erase(id);
+    }
+  }
+  EXPECT_EQ(coll.Stats().live_rows, live.size());
+}
+
+TEST(ChurnReplayTest, RejectsTimelinesWithoutSearches) {
+  const auto data = GenerateDataset(DatasetProfile::kGlove, 100, 8, 85);
+  ChurnWorkload churn;
+  churn.base = &data;
+  CollectionOptions copts;
+  copts.scale.actual_rows = data.rows();
+  Collection coll(copts);
+  const ChurnReplayResult result = ReplayChurn(&coll, churn, ReplayOptions{});
+  EXPECT_TRUE(result.failed);
+  EXPECT_FALSE(result.fail_reason.empty());
 }
 
 }  // namespace
