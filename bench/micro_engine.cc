@@ -1,0 +1,172 @@
+// Microbenchmark (google-benchmark): engine search QPS vs client thread
+// count, snapshot read path vs the old engine-serialized path.
+//
+// Before the snapshot redesign every VdmsEngine::Search held one engine-wide
+// mutex for the whole search, so QPS flat-lined (or regressed) as client
+// threads were added. Snapshot reads hold no lock while searching, so QPS
+// scales with the clients. The serialized path survives only behind
+// VdmsEngineOptions::serialize_reads — a bench-only compatibility flag —
+// precisely so this file can keep measuring what the redesign buys.
+//
+// Threads sweep {1, 2, 4, 8}; compare items_per_second between
+// BM_EngineSearch_Snapshot and BM_EngineSearch_Serialized at equal thread
+// counts. A second pair measures search throughput while a writer thread
+// continuously deletes and compacts — the serialized path stalls behind the
+// writer's lock hold times; the snapshot path does not.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "vdms/vdms.h"
+#include "workload/datasets.h"
+#include "workload/workload.h"
+
+namespace vdt {
+namespace {
+
+constexpr size_t kRows = 6000;
+constexpr size_t kDim = 48;
+constexpr size_t kQueries = 64;
+constexpr size_t kK = 10;
+
+CollectionOptions BenchOptions(const std::string& name) {
+  CollectionOptions opts;
+  opts.name = name;
+  opts.metric = Metric::kAngular;
+  opts.index.type = IndexType::kIvfFlat;
+  opts.index.params.nlist = 64;
+  opts.index.params.nprobe = 8;
+  opts.scale.dataset_mb = 472.0;
+  opts.scale.actual_rows = kRows;
+  opts.system.compaction_deleted_ratio = 0.2;
+  return opts;
+}
+
+/// One engine per read-path variant, stood up once and shared across every
+/// thread count of the sweep.
+struct EngineFixture {
+  explicit EngineFixture(bool serialize_reads)
+      : engine(VdmsEngineOptions{serialize_reads}),
+        data(GenerateDataset(DatasetProfile::kGlove, kRows, kDim, 7)),
+        queries(GenerateQueries(DatasetProfile::kGlove, kQueries, kDim, 11)) {
+    engine.CreateCollection(BenchOptions("bench"));
+    engine.Insert("bench", data);
+    engine.Flush("bench");
+  }
+
+  VdmsEngine engine;
+  FloatMatrix data;
+  FloatMatrix queries;
+};
+
+EngineFixture& Snapshot() {
+  static EngineFixture fixture(/*serialize_reads=*/false);
+  return fixture;
+}
+
+EngineFixture& Serialized() {
+  static EngineFixture fixture(/*serialize_reads=*/true);
+  return fixture;
+}
+
+void RunSearchLoop(benchmark::State& state, EngineFixture& fixture) {
+  // Each client thread walks the query set from its own offset.
+  size_t q = static_cast<size_t>(state.thread_index()) * 7;
+  for (auto _ : state) {
+    const auto response = fixture.engine.Search(
+        "bench",
+        SearchRequest::Single(fixture.queries.Row(q++ % kQueries), kDim, kK));
+    if (!response.ok() || response->top().size() != kK) {
+      state.SkipWithError("engine search failed");
+      return;
+    }
+    benchmark::DoNotOptimize(response->top().front().id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EngineSearch_Snapshot(benchmark::State& state) {
+  RunSearchLoop(state, Snapshot());
+}
+
+void BM_EngineSearch_Serialized(benchmark::State& state) {
+  RunSearchLoop(state, Serialized());
+}
+
+BENCHMARK(BM_EngineSearch_Snapshot)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_EngineSearch_Serialized)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+EngineFixture& ChurnSnapshot() {
+  static EngineFixture fixture(/*serialize_reads=*/false);
+  return fixture;
+}
+
+EngineFixture& ChurnSerialized() {
+  static EngineFixture fixture(/*serialize_reads=*/true);
+  return fixture;
+}
+
+/// Searches racing a writer that keeps inserting, deleting, and compacting.
+/// The writer rotates a window — each round inserts 64 rows and deletes the
+/// 64 it inserted the round before — so the live population stays ~kRows no
+/// matter how long the benchmark runs.
+void RunChurnLoop(benchmark::State& state, bool serialize_reads) {
+  EngineFixture& fixture =
+      serialize_reads ? ChurnSerialized() : ChurnSnapshot();
+  static std::atomic<bool> stop{false};
+  static std::thread writer;
+  if (state.thread_index() == 0) {
+    stop.store(false);
+    writer = std::thread([&fixture] {
+      int64_t prev_base = -1;
+      uint64_t round = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t base = static_cast<int64_t>(
+            fixture.engine.GetStats("bench")->total_rows);
+        const size_t src = (round * 64) % (kRows - 64);
+        fixture.engine.Insert("bench", fixture.data.Slice(src, src + 64));
+        if (prev_base >= 0) {
+          std::vector<int64_t> victims;
+          for (int64_t id = prev_base; id < prev_base + 64; ++id) {
+            victims.push_back(id);
+          }
+          fixture.engine.Delete("bench", victims);
+          fixture.engine.Compact("bench");
+        }
+        prev_base = base;
+        ++round;
+      }
+    });
+  }
+  RunSearchLoop(state, fixture);
+  if (state.thread_index() == 0) {
+    stop.store(true);
+    writer.join();
+  }
+}
+
+void BM_EngineSearchDuringChurn_Snapshot(benchmark::State& state) {
+  RunChurnLoop(state, /*serialize_reads=*/false);
+}
+
+void BM_EngineSearchDuringChurn_Serialized(benchmark::State& state) {
+  RunChurnLoop(state, /*serialize_reads=*/true);
+}
+
+BENCHMARK(BM_EngineSearchDuringChurn_Snapshot)->Threads(4)->UseRealTime();
+BENCHMARK(BM_EngineSearchDuringChurn_Serialized)->Threads(4)->UseRealTime();
+
+}  // namespace
+}  // namespace vdt

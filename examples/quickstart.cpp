@@ -53,15 +53,27 @@ int main() {
               stats->num_indexed_segments);
 
   // ------------------------------------------------------------ 3. search
+  // One typed request carries the whole query batch; the response carries
+  // per-query work counters and the stats of the snapshot that served it.
   const FloatMatrix queries = GenerateQueries(profile, 3, 48, /*seed=*/2);
+  auto response = engine.Search("quickstart", SearchRequest::Batch(queries, 5));
   for (size_t q = 0; q < queries.rows(); ++q) {
-    WorkCounters work;
-    auto hits = engine.Search("quickstart", queries.Row(q), 5, &work);
     std::printf("query %zu -> top-5 ids:", q);
-    for (const Neighbor& n : *hits) std::printf(" %lld", (long long)n.id);
+    for (const Neighbor& n : response->neighbors[q]) {
+      std::printf(" %lld", (long long)n.id);
+    }
     std::printf("  (%llu distance evals)\n",
-                (unsigned long long)work.full_distance_evals);
+                (unsigned long long)response->query_work[q].full_distance_evals);
   }
+
+  // Ref-counted handles replace raw collection pointers: a drop refuses
+  // while any handle is live, so direct access can never dangle.
+  {
+    CollectionHandle handle = *engine.Open("quickstart");
+    Status drop = engine.DropCollection("quickstart");
+    std::printf("drop while a handle is open -> %s\n",
+                drop.ToString().c_str());
+  }  // handle released here; the collection stays for the tuning below
 
   // ----------------------------------------------------------- 4. tune it
   std::printf("\ntuning: 20 iterations of VDTuner vs the default config...\n");

@@ -30,8 +30,12 @@ Status AutoIndex::Build(const FloatMatrix& data) {
 
 std::vector<Neighbor> AutoIndex::SearchFiltered(const float* query, size_t k,
                                                 const RowFilter* filter,
-                                                WorkCounters* counters) const {
-  return delegate_->SearchFiltered(query, k, filter, counters);
+                                                WorkCounters* counters,
+                                                const IndexParams* /*knobs*/)
+    const {
+  // The delegate keeps its pre-tuned profile: overrides do not pass through,
+  // mirroring the no-op UpdateSearchParams contract.
+  return delegate_->SearchFiltered(query, k, filter, counters, nullptr);
 }
 
 size_t AutoIndex::MemoryBytes() const {

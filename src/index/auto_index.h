@@ -18,9 +18,12 @@ class AutoIndex : public VectorIndex {
       : metric_(metric), seed_(seed), build_threads_(build_threads) {}
 
   Status Build(const FloatMatrix& data) override;
+  /// AUTOINDEX has no user-visible knobs: per-call overrides are ignored,
+  /// exactly as its UpdateSearchParams() is a no-op.
   std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
                                        const RowFilter* filter,
-                                       WorkCounters* counters) const override;
+                                       WorkCounters* counters,
+                                       const IndexParams* knobs) const override;
   size_t MemoryBytes() const override;
   IndexType type() const override { return IndexType::kAutoIndex; }
   size_t Size() const override;

@@ -10,7 +10,9 @@ Status FlatIndex::Build(const FloatMatrix& data) {
 
 std::vector<Neighbor> FlatIndex::SearchFiltered(const float* query, size_t k,
                                                 const RowFilter* filter,
-                                                WorkCounters* counters) const {
+                                                WorkCounters* counters,
+                                                const IndexParams* /*knobs*/)
+    const {
   return BruteForceSearch(*data_, metric_, query, k, counters, filter);
 }
 

@@ -12,9 +12,11 @@ class FlatIndex : public VectorIndex {
   explicit FlatIndex(Metric metric) : metric_(metric) {}
 
   Status Build(const FloatMatrix& data) override;
+  /// FLAT has no search-time knobs; `knobs` is ignored.
   std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
                                        const RowFilter* filter,
-                                       WorkCounters* counters) const override;
+                                       WorkCounters* counters,
+                                       const IndexParams* knobs) const override;
   size_t MemoryBytes() const override { return 0; }  // uses the segment data
   IndexType type() const override { return IndexType::kFlat; }
   size_t Size() const override { return data_ ? data_->rows() : 0; }

@@ -240,7 +240,8 @@ Status HnswIndex::Build(const FloatMatrix& data) {
 
 std::vector<Neighbor> HnswIndex::SearchFiltered(const float* query, size_t k,
                                                 const RowFilter* filter,
-                                                WorkCounters* counters) const {
+                                                WorkCounters* counters,
+                                                const IndexParams* knobs) const {
   assert(data_ != nullptr && data_->rows() > 0);
   uint32_t ep = entry_;
 
@@ -262,7 +263,8 @@ std::vector<Neighbor> HnswIndex::SearchFiltered(const float* query, size_t k,
     }
   }
 
-  const size_t ef = std::max<size_t>(static_cast<size_t>(std::max(1, params_.ef)), k);
+  const int ef_knob = knobs != nullptr ? knobs->ef : params_.ef;
+  const size_t ef = std::max<size_t>(static_cast<size_t>(std::max(1, ef_knob)), k);
   std::vector<Neighbor> found = SearchLayer(query, ep, ef, 0, filter, counters);
   if (found.size() > k) found.resize(k);
   return found;

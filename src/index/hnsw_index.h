@@ -25,9 +25,12 @@ class HnswIndex : public VectorIndex {
       : metric_(metric), params_(params), seed_(seed) {}
 
   Status Build(const FloatMatrix& data) override;
+  /// `knobs` (may be null) overrides ef for this call only — the same field
+  /// UpdateSearchParams() would set, with no index mutation.
   std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
                                        const RowFilter* filter,
-                                       WorkCounters* counters) const override;
+                                       WorkCounters* counters,
+                                       const IndexParams* knobs) const override;
   void UpdateSearchParams(const IndexParams& params) override {
     params_.ef = params.ef;
   }

@@ -98,8 +98,10 @@ struct Neighbor {
 };
 
 /// Live-row predicate over the local row ids of one indexed matrix, viewing
-/// a tombstone bitmap owned by the caller (1 = deleted, one byte per row).
-/// A null filter (or a null bitmap) means every row is live. The bitmap must
+/// a tombstone bitmap owned by the caller (1 = deleted, one byte per row)
+/// and, optionally, an arbitrary caller predicate. A null filter (or a null
+/// bitmap) means every row is live; a row is live when its tombstone bit is
+/// clear AND the predicate (when present) returns true. Both views must
 /// outlive the search and must not be mutated concurrently with it.
 ///
 /// Indexes handle the filter by over-fetching internally: filtered rows are
@@ -108,15 +110,24 @@ struct Neighbor {
 /// search keeps returning up to k *live* neighbors while any rows remain.
 class RowFilter {
  public:
+  /// Arbitrary predicate over local row ids (true = live). Must be pure and
+  /// thread-safe; the collection layer uses it to translate engine-level
+  /// collection-id filters into per-segment local-id filters.
+  using Predicate = std::function<bool(int64_t)>;
+
   RowFilter() = default;
   explicit RowFilter(const uint8_t* tombstones) : tombstones_(tombstones) {}
+  RowFilter(const uint8_t* tombstones, const Predicate* predicate)
+      : tombstones_(tombstones), predicate_(predicate) {}
 
   bool IsLive(int64_t id) const {
-    return tombstones_ == nullptr || tombstones_[id] == 0;
+    if (tombstones_ != nullptr && tombstones_[id] != 0) return false;
+    return predicate_ == nullptr || (*predicate_)(id);
   }
 
  private:
   const uint8_t* tombstones_ = nullptr;
+  const Predicate* predicate_ = nullptr;
 };
 
 /// True when `id` passes `filter` (null filter = everything live).
@@ -155,18 +166,34 @@ class VectorIndex {
   /// Convenience form of SearchFiltered with every row live.
   std::vector<Neighbor> Search(const float* query, size_t k,
                                WorkCounters* counters) const {
-    return SearchFiltered(query, k, nullptr, counters);
+    return SearchFiltered(query, k, nullptr, counters, nullptr);
   }
 
-  /// Search() restricted to the rows `filter` declares live (null = all
-  /// rows). Tombstoned rows never appear in the result; backends over-fetch
-  /// internally (scan past dead rows, keep expanding the beam) so up to k
-  /// live neighbors are still returned. Work counters charge only distance
-  /// evaluations actually performed — filtered-out scans are skipped, while
-  /// traversal work through dead rows (graph hops) is still counted.
+  /// SearchFiltered with the index's own search-time knobs.
+  std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
+                                       const RowFilter* filter,
+                                       WorkCounters* counters) const {
+    return SearchFiltered(query, k, filter, counters, nullptr);
+  }
+
+  /// The primary search entry point: Search() restricted to the rows
+  /// `filter` declares live (null = all rows). Tombstoned rows never appear
+  /// in the result; backends over-fetch internally (scan past dead rows,
+  /// keep expanding the beam) so up to k live neighbors are still returned.
+  /// Work counters charge only distance evaluations actually performed —
+  /// filtered-out scans are skipped, while traversal work through dead rows
+  /// (graph hops) is still counted.
+  ///
+  /// `knobs` (may be null) overrides the search-time parameters for this
+  /// call only, without mutating the index — the thread-safe alternative to
+  /// UpdateSearchParams() that the snapshot read path relies on. Each
+  /// backend reads exactly the fields its UpdateSearchParams() would apply:
+  /// the IVF family reads nprobe, HNSW reads ef, SCANN reads nprobe and
+  /// reorder_k, and FLAT/AUTOINDEX ignore overrides entirely.
   virtual std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
                                                const RowFilter* filter,
-                                               WorkCounters* counters)
+                                               WorkCounters* counters,
+                                               const IndexParams* knobs)
       const = 0;
 
   /// Top-k for every row of `queries`; result i corresponds to
@@ -185,7 +212,9 @@ class VectorIndex {
 
   /// Updates search-time knobs (nprobe, ef, reorder_k) without rebuilding.
   /// Build-time parameters are fixed once Build() has run; see
-  /// BuildSignature() for which is which.
+  /// BuildSignature() for which is which. Mutates the index — must not run
+  /// concurrently with searches; concurrent callers should pass a per-call
+  /// `knobs` override to SearchFiltered instead.
   virtual void UpdateSearchParams(const IndexParams& params) { (void)params; }
 
   /// Bytes used by the index structures (excluding the raw vectors unless

@@ -39,11 +39,10 @@ Status IvfBaseIndex::Build(const FloatMatrix& data) {
   return EncodeLists(data, executor);
 }
 
-std::vector<int32_t> IvfBaseIndex::ProbeLists(const float* query,
+std::vector<int32_t> IvfBaseIndex::ProbeLists(const float* query, int nprobe_in,
                                               WorkCounters* counters) const {
   const size_t nlist = centroids_.rows();
-  const size_t nprobe =
-      std::min<size_t>(std::max(1, params_.nprobe), nlist);
+  const size_t nprobe = std::min<size_t>(std::max(1, nprobe_in), nlist);
   std::vector<std::pair<float, int32_t>> dists;
   dists.reserve(nlist);
   for (size_t c = 0; c < nlist; ++c) {
@@ -62,10 +61,10 @@ std::vector<int32_t> IvfBaseIndex::ProbeLists(const float* query,
 
 std::vector<Neighbor> IvfFlatIndex::SearchFiltered(
     const float* query, size_t k, const RowFilter* filter,
-    WorkCounters* counters) const {
+    WorkCounters* counters, const IndexParams* knobs) const {
   TopKCollector topk(k);
   uint64_t scanned = 0;
-  for (int32_t list : ProbeLists(query, counters)) {
+  for (int32_t list : ProbeLists(query, EffectiveNprobe(knobs), counters)) {
     for (int64_t id : list_ids_[list]) {
       if (!RowIsLive(filter, id)) continue;
       topk.Offer(id, Distance(metric_, query, data_->Row(id), data_->dim()));
@@ -93,11 +92,11 @@ Status IvfSq8Index::EncodeLists(const FloatMatrix& data,
 
 std::vector<Neighbor> IvfSq8Index::SearchFiltered(
     const float* query, size_t k, const RowFilter* filter,
-    WorkCounters* counters) const {
+    WorkCounters* counters, const IndexParams* knobs) const {
   const size_t dim = data_->dim();
   TopKCollector topk(k);
   uint64_t scanned = 0;
-  for (int32_t list : ProbeLists(query, counters)) {
+  for (int32_t list : ProbeLists(query, EffectiveNprobe(knobs), counters)) {
     const auto& ids = list_ids_[list];
     const uint8_t* codes = list_codes_[list].data();
     for (size_t j = 0; j < ids.size(); ++j) {
@@ -198,7 +197,7 @@ Status IvfPqIndex::EncodeLists(const FloatMatrix& data,
 
 std::vector<Neighbor> IvfPqIndex::SearchFiltered(
     const float* query, size_t k, const RowFilter* filter,
-    WorkCounters* counters) const {
+    WorkCounters* counters, const IndexParams* knobs) const {
   const size_t m = static_cast<size_t>(params_.m);
   const size_t ksub = static_cast<size_t>(ksub_);
 
@@ -220,7 +219,7 @@ std::vector<Neighbor> IvfPqIndex::SearchFiltered(
 
   TopKCollector topk(k);
   uint64_t scanned = 0;
-  for (int32_t list : ProbeLists(query, counters)) {
+  for (int32_t list : ProbeLists(query, EffectiveNprobe(knobs), counters)) {
     const auto& ids = list_ids_[list];
     const uint16_t* codes = list_codes_[list].data();
     for (size_t j = 0; j < ids.size(); ++j) {

@@ -37,8 +37,14 @@ class IvfBaseIndex : public VectorIndex {
   virtual Status EncodeLists(const FloatMatrix& data,
                              ParallelExecutor* executor) = 0;
 
-  /// Returns the nprobe nearest list ids for `query` (adds coarse work).
-  std::vector<int32_t> ProbeLists(const float* query,
+  /// The effective nprobe for one search call: the per-call override when
+  /// present, params_.nprobe otherwise (mirrors UpdateSearchParams).
+  int EffectiveNprobe(const IndexParams* knobs) const {
+    return knobs != nullptr ? knobs->nprobe : params_.nprobe;
+  }
+
+  /// Returns the `nprobe` nearest list ids for `query` (adds coarse work).
+  std::vector<int32_t> ProbeLists(const float* query, int nprobe,
                                   WorkCounters* counters) const;
 
   Metric metric_;
@@ -56,7 +62,8 @@ class IvfFlatIndex : public IvfBaseIndex {
 
   std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
                                        const RowFilter* filter,
-                                       WorkCounters* counters) const override;
+                                       WorkCounters* counters,
+                                       const IndexParams* knobs) const override;
   size_t MemoryBytes() const override;
   IndexType type() const override { return IndexType::kIvfFlat; }
 
@@ -74,7 +81,8 @@ class IvfSq8Index : public IvfBaseIndex {
 
   std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
                                        const RowFilter* filter,
-                                       WorkCounters* counters) const override;
+                                       WorkCounters* counters,
+                                       const IndexParams* knobs) const override;
   size_t MemoryBytes() const override;
   IndexType type() const override { return IndexType::kIvfSq8; }
 
@@ -97,7 +105,8 @@ class IvfPqIndex : public IvfBaseIndex {
 
   std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
                                        const RowFilter* filter,
-                                       WorkCounters* counters) const override;
+                                       WorkCounters* counters,
+                                       const IndexParams* knobs) const override;
   size_t MemoryBytes() const override;
   IndexType type() const override { return IndexType::kIvfPq; }
 

@@ -41,10 +41,11 @@ Status ScannIndex::Build(const FloatMatrix& data) {
 
 std::vector<Neighbor> ScannIndex::SearchFiltered(
     const float* query, size_t k, const RowFilter* filter,
-    WorkCounters* counters) const {
+    WorkCounters* counters, const IndexParams* knobs) const {
   const size_t dim = data_->dim();
   const size_t nlist = centroids_.rows();
-  const size_t nprobe = std::min<size_t>(std::max(1, params_.nprobe), nlist);
+  const int nprobe_knob = knobs != nullptr ? knobs->nprobe : params_.nprobe;
+  const size_t nprobe = std::min<size_t>(std::max(1, nprobe_knob), nlist);
 
   // Coarse probe.
   std::vector<std::pair<float, int32_t>> cd;
@@ -57,8 +58,10 @@ std::vector<Neighbor> ScannIndex::SearchFiltered(
   std::partial_sort(cd.begin(), cd.begin() + nprobe, cd.end());
 
   // Approximate scoring pass over quantized codes.
+  const int reorder_knob =
+      knobs != nullptr ? knobs->reorder_k : params_.reorder_k;
   const size_t reorder_k =
-      std::max<size_t>(k, static_cast<size_t>(std::max(1, params_.reorder_k)));
+      std::max<size_t>(k, static_cast<size_t>(std::max(1, reorder_knob)));
   TopKCollector approx(reorder_k);
   uint64_t scanned = 0;
   for (size_t p = 0; p < nprobe; ++p) {

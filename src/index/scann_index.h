@@ -18,9 +18,12 @@ class ScannIndex : public VectorIndex {
       : metric_(metric), params_(params), seed_(seed) {}
 
   Status Build(const FloatMatrix& data) override;
+  /// `knobs` (may be null) overrides nprobe/reorder_k for this call only —
+  /// the fields UpdateSearchParams() would set, with no index mutation.
   std::vector<Neighbor> SearchFiltered(const float* query, size_t k,
                                        const RowFilter* filter,
-                                       WorkCounters* counters) const override;
+                                       WorkCounters* counters,
+                                       const IndexParams* knobs) const override;
   void UpdateSearchParams(const IndexParams& params) override {
     params_.nprobe = params.nprobe;
     params_.reorder_k = params.reorder_k;

@@ -54,12 +54,25 @@ CollectionOptions VdmsEvaluator::MakeCollectionOptions(
   return copts;
 }
 
-std::shared_ptr<Collection> VdmsEvaluator::BuildCollection(
-    const TuningConfig& config, Status* status) {
-  auto collection = std::make_shared<Collection>(MakeCollectionOptions(config));
-  *status = collection->Insert(*data_);
-  if (status->ok()) *status = collection->Flush();
-  return collection;
+Status VdmsEvaluator::StandUpCollection(const TuningConfig& config,
+                                        const std::string& name,
+                                        CollectionHandle* handle) {
+  CollectionOptions copts = MakeCollectionOptions(config);
+  copts.name = name;
+  VDT_RETURN_IF_ERROR(engine_.CreateCollection(copts));
+  Result<CollectionHandle> opened = engine_.Open(name);
+  if (!opened.ok()) return opened.status();  // unreachable: just created
+  *handle = std::move(*opened);
+  Status st = (*handle)->Insert(*data_);
+  if (st.ok()) st = (*handle)->Flush();
+  return st;
+}
+
+void VdmsEvaluator::DropCollection(const std::string& name,
+                                   CollectionHandle* handle) {
+  handle->reset();  // the engine refuses to drop while the handle is live
+  const Status dropped = engine_.DropCollection(name);
+  (void)dropped;  // NotFound when creation itself failed; nothing to do
 }
 
 double VdmsEvaluator::AnalyticStandUpSeconds(
@@ -85,11 +98,21 @@ EvalOutcome VdmsEvaluator::EvaluateChurn(const TuningConfig& config) {
 
   // A fresh, empty collection every time: the timeline mutates it (deletes,
   // compactions), so nothing here can be shared through the build cache.
-  Collection collection(MakeCollectionOptions(config));
+  // Stood up through the engine and driven via a handle, then dropped.
+  static constexpr char kChurnName[] = "__vdt_churn_eval__";
+  CollectionOptions copts = MakeCollectionOptions(config);
+  copts.name = kChurnName;
+  Status st = engine_.CreateCollection(copts);
+  if (!st.ok()) {
+    out.failed = true;
+    out.fail_reason = st.ToString();
+    return out;
+  }
+  CollectionHandle handle = *engine_.Open(kChurnName);
   const ChurnReplayResult replay =
-      ReplayChurn(&collection, *options_.churn, options_.replay);
+      ReplayChurn(handle.get(), *options_.churn, options_.replay);
 
-  out.eval_seconds = AnalyticStandUpSeconds(config, collection.Stats());
+  out.eval_seconds = AnalyticStandUpSeconds(config, handle->Stats());
   out.qps = replay.qps;
   out.recall = replay.recall;
   out.memory_gib = replay.memory_gib;
@@ -99,6 +122,7 @@ EvalOutcome VdmsEvaluator::EvaluateChurn(const TuningConfig& config) {
     out.fail_reason = replay.fail_reason;
     out.eval_seconds += 900.0;  // the paper's 15-minute replay cap
   }
+  DropCollection(kChurnName, &handle);
   return out;
 }
 
@@ -107,8 +131,9 @@ EvalOutcome VdmsEvaluator::Evaluate(const TuningConfig& config) {
 
   EvalOutcome out;
 
-  // Look up / build the collection.
-  std::shared_ptr<Collection> collection;
+  // Look up / build the collection. Cached collections live inside the
+  // engine under their cache key; the LRU holds ref-counted handles.
+  CollectionHandle collection;
   const std::string key = CacheKey(config);
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     if (it->first == key) {
@@ -119,30 +144,42 @@ EvalOutcome VdmsEvaluator::Evaluate(const TuningConfig& config) {
     }
   }
   Status build_status = Status::OK();
+  bool cached = static_cast<bool>(collection);
   if (!collection) {
     ++cache_misses_;
-    collection = BuildCollection(config, &build_status);
+    build_status = StandUpCollection(config, key, &collection);
     if (build_status.ok() && options_.cache_capacity > 0) {
       lru_.emplace_front(key, collection);
-      if (lru_.size() > options_.cache_capacity) lru_.pop_back();
+      cached = true;
+      if (lru_.size() > options_.cache_capacity) {
+        auto victim = std::move(lru_.back());
+        lru_.pop_back();
+        DropCollection(victim.first, &victim.second);
+      }
     }
   }
 
   // Simulated paper-scale evaluation time: every configuration change
   // reloads data and rebuilds indexes (the paper's dominant cost), cache or
   // not — our cache is an implementation shortcut, not part of the model.
-  out.eval_seconds = AnalyticStandUpSeconds(config, collection->Stats());
+  out.eval_seconds = AnalyticStandUpSeconds(
+      config, collection ? collection->Stats() : CollectionStats{});
 
   if (!build_status.ok()) {
     out.failed = true;
     out.fail_reason = build_status.ToString();
+    if (collection || engine_.HasCollection(key)) {
+      DropCollection(key, &collection);  // failed builds are never cached
+    }
     return out;
   }
 
-  // Apply the search-time knobs this configuration requests, then replay.
+  // Apply the search-time knobs this configuration requests, then replay
+  // through the typed request surface.
   collection->UpdateSearchParams(config.index);
   collection->OverrideRuntimeSystem(config.system);
-  ReplayResult replay = ReplayWorkload(*collection, *workload_, options_.replay);
+  ReplayResult replay =
+      ReplayWorkload(*collection, *workload_, options_.replay);
 
   out.qps = replay.qps;
   out.recall = replay.recall;
@@ -154,6 +191,7 @@ EvalOutcome VdmsEvaluator::Evaluate(const TuningConfig& config) {
     // A timed-out replay still consumed the paper's 15-minute cap.
     out.eval_seconds += 900.0;
   }
+  if (!cached) DropCollection(key, &collection);
   return out;
 }
 

@@ -11,9 +11,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/parallel_executor.h"
 #include "tuner/param_space.h"
+#include "vdms/vdms.h"
 #include "workload/churn.h"
 #include "workload/replay.h"
 #include "workload/workload.h"
@@ -98,8 +100,15 @@ class VdmsEvaluator : public Evaluator {
 
  private:
   std::string CacheKey(const TuningConfig& config) const;
-  std::shared_ptr<Collection> BuildCollection(const TuningConfig& config,
-                                              Status* status);
+  /// Stands a collection up through the engine under `name` (create +
+  /// ingest + flush) and opens a handle on it. On failure the handle is
+  /// still valid when the collection exists (its stats feed the simulated
+  /// stand-up time); the caller drops the collection.
+  Status StandUpCollection(const TuningConfig& config,
+                           const std::string& name,
+                           CollectionHandle* handle);
+  /// Releases `handle` and drops the named collection from the engine.
+  void DropCollection(const std::string& name, CollectionHandle* handle);
   /// CollectionOptions for `config` (dataset scale, seed, build_threads
   /// override applied) without ingesting any data.
   CollectionOptions MakeCollectionOptions(const TuningConfig& config) const;
@@ -117,8 +126,13 @@ class VdmsEvaluator : public Evaluator {
   /// built once so repeated evaluations share one pool.
   std::unique_ptr<ParallelExecutor> executor_;
 
-  // LRU cache of built collections.
-  std::list<std::pair<std::string, std::shared_ptr<Collection>>> lru_;
+  /// The engine that owns every collection this evaluator stands up;
+  /// collections are named by cache key and accessed through ref-counted
+  /// handles (never raw pointers), so a cache eviction can only drop a
+  /// collection after its handle is released.
+  VdmsEngine engine_;
+  // LRU cache of built collections (name == cache key), as live handles.
+  std::list<std::pair<std::string, CollectionHandle>> lru_;
   size_t cache_hits_ = 0;
   size_t cache_misses_ = 0;
 };

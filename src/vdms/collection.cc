@@ -2,12 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/parallel_executor.h"
 #include "index/topk.h"
 
 namespace vdt {
+
+namespace {
+
+/// A mutable clone of `overlay` sized to `rows` (bits beyond the source
+/// length start live). The copy-on-write step behind every delete.
+std::shared_ptr<TombstoneOverlay> CloneOverlay(
+    const std::shared_ptr<const TombstoneOverlay>& overlay, size_t rows) {
+  auto clone = std::make_shared<TombstoneOverlay>();
+  clone->bits.assign(rows, 0);
+  if (overlay != nullptr) {
+    std::copy(overlay->bits.begin(), overlay->bits.end(),
+              clone->bits.begin());
+    clone->deleted = overlay->deleted;
+  }
+  return clone;
+}
+
+}  // namespace
 
 size_t ScaleModel::RowsForMb(double mb) const {
   if (dataset_mb <= 0.0) return actual_rows;
@@ -24,7 +43,9 @@ double ScaleModel::MbForRows(size_t rows) const {
 }
 
 Collection::Collection(CollectionOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  Publish();  // never leave snapshot_ null: readers may arrive immediately
+}
 
 size_t Collection::SealRows() const {
   const double mb = std::max(
@@ -40,6 +61,13 @@ size_t Collection::BufferRows() const {
 }
 
 Status Collection::Insert(const FloatMatrix& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status st = InsertLocked(rows);
+  Publish();
+  return st;
+}
+
+Status Collection::InsertLocked(const FloatMatrix& rows) {
   if (rows.empty()) return Status::OK();
   if (dim_ == 0) {
     dim_ = rows.dim();
@@ -58,7 +86,7 @@ Status Collection::Insert(const FloatMatrix& rows) {
     ++next_id_;
     if (buffer_.rows() >= buffer_cap) {
       FlushBufferIntoGrowing();
-      if (growing_->rows() >= seal_rows) {
+      if (growing_rows_ >= seal_rows) {
         VDT_RETURN_IF_ERROR(SealGrowing());
       }
     }
@@ -67,16 +95,30 @@ Status Collection::Insert(const FloatMatrix& rows) {
 }
 
 void Collection::FlushBufferIntoGrowing() {
-  if (!growing_) {
-    growing_ = std::make_unique<Segment>(buffer_base_, dim_);
-  }
-  for (size_t j = 0; j < buffer_.rows(); ++j) {
-    growing_->Append(buffer_.Row(j), dim_);
-    // Carry tombstones: deletes may land on buffered rows before they flush.
-    if (buffer_tombstones_[j] != 0) {
-      growing_->Delete(buffer_base_ + static_cast<int64_t>(j));
+  if (buffer_.rows() == 0) return;
+  if (growing_chunks_.empty()) growing_base_ = buffer_base_;
+  const size_t old_rows = growing_rows_;
+  growing_rows_ += buffer_.rows();
+
+  // Merge tombstones: deletes may have landed on the old growing rows or on
+  // buffered rows before this flush. Overlay bits always span every row.
+  const size_t carried =
+      growing_tombstones_ != nullptr ? growing_tombstones_->deleted : 0;
+  if (carried + buffer_deleted_ > 0) {
+    auto merged = CloneOverlay(growing_tombstones_, growing_rows_);
+    for (size_t j = 0; j < buffer_.rows(); ++j) {
+      if (buffer_tombstones_[j] != 0) {
+        merged->bits[old_rows + j] = 1;
+        ++merged->deleted;
+      }
     }
+    growing_tombstones_ = std::move(merged);
   }
+
+  // The buffer matrix becomes a frozen chunk, shared with every snapshot
+  // published from here on — no growing rows are ever re-copied.
+  growing_chunks_.push_back(
+      std::make_shared<const FloatMatrix>(std::move(buffer_)));
   buffer_ = FloatMatrix(0, dim_);
   buffer_tombstones_.clear();
   buffer_deleted_ = 0;
@@ -84,27 +126,47 @@ void Collection::FlushBufferIntoGrowing() {
 }
 
 Status Collection::SealGrowing() {
-  if (!growing_) return Status::OK();
-  Status st = growing_->Seal(options_.index.type, options_.metric,
-                             options_.index.params,
-                             options_.system.build_index_threshold,
-                             options_.seed + sealed_.size() * 31 + 1);
+  if (growing_chunks_.empty()) return Status::OK();
+  // Concatenate the chunks into one segment (invisible until Publish, so it
+  // can be built in place) and build its index through the normal path.
+  auto segment = std::make_shared<Segment>(growing_base_, dim_);
+  for (const auto& chunk : growing_chunks_) {
+    for (size_t r = 0; r < chunk->rows(); ++r) {
+      segment->Append(chunk->Row(r), dim_);
+    }
+  }
+  Status st = segment->Seal(options_.index.type, options_.metric,
+                            options_.index.params,
+                            options_.system.build_index_threshold,
+                            options_.seed + sealed_.size() * 31 + 1);
   if (!st.ok()) return st;
-  sealed_.push_back(std::move(growing_));
+  sealed_.push_back(SegmentView{std::move(segment), growing_tombstones_});
+  growing_chunks_.clear();
+  growing_rows_ = 0;
+  growing_tombstones_.reset();
   return Status::OK();
 }
 
 Status Collection::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status st = Status::OK();
   if (buffer_.rows() > 0) {
     FlushBufferIntoGrowing();
   }
-  VDT_RETURN_IF_ERROR(SealGrowing());
+  st = SealGrowing();
   buffer_base_ = next_id_;
-  return Status::OK();
+  Publish();
+  return st;
 }
 
 Status Collection::Delete(const std::vector<int64_t>& ids, size_t* deleted) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t count = 0;
+  // Copy-on-write clones, committed after routing so in-flight readers keep
+  // the pre-delete bitmaps; cloned at most once per segment per call.
+  std::vector<std::shared_ptr<TombstoneOverlay>> sealed_clones(sealed_.size());
+  std::shared_ptr<TombstoneOverlay> growing_clone;
+
   for (const int64_t id : ids) {
     if (id < 0 || id >= next_id_) continue;  // unknown id: ignore
     // Route newest-first: recently inserted rows live in the buffer or the
@@ -119,42 +181,79 @@ Status Collection::Delete(const std::vector<int64_t>& ids, size_t* deleted) {
       }
       continue;
     }
-    if (growing_ && growing_->Contains(id)) {
-      if (growing_->Delete(id)) ++count;
+    if (growing_rows_ > 0 && id >= growing_base_) {
+      // Growing rows are the contiguous id range right below the buffer.
+      const size_t local = static_cast<size_t>(id - growing_base_);
+      if (growing_clone == nullptr) {
+        growing_clone = CloneOverlay(growing_tombstones_, growing_rows_);
+      }
+      if (growing_clone->bits[local] == 0) {
+        growing_clone->bits[local] = 1;
+        ++growing_clone->deleted;
+        ++count;
+      }
       continue;
     }
-    for (auto& seg : sealed_) {
-      if (seg->Contains(id)) {
-        if (seg->Delete(id)) ++count;
-        break;
+    for (size_t i = 0; i < sealed_.size(); ++i) {
+      const int64_t local = sealed_[i].segment->LocalOf(id);
+      if (local < 0) continue;
+      if (sealed_clones[i] == nullptr) {
+        sealed_clones[i] =
+            CloneOverlay(sealed_[i].tombstones, sealed_[i].segment->rows());
       }
+      if (sealed_clones[i]->bits[local] == 0) {
+        sealed_clones[i]->bits[local] = 1;
+        ++sealed_clones[i]->deleted;
+        ++count;
+      }
+      break;
+    }
+  }
+
+  if (growing_clone != nullptr) growing_tombstones_ = std::move(growing_clone);
+  for (size_t i = 0; i < sealed_.size(); ++i) {
+    if (sealed_clones[i] != nullptr) {
+      sealed_[i].tombstones = std::move(sealed_clones[i]);
     }
   }
   if (deleted != nullptr) *deleted = count;
-  return Compact();
+  Status st = CompactLocked(nullptr);
+  Publish();
+  return st;
 }
 
 Status Collection::Compact(size_t* compacted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status st = CompactLocked(compacted);
+  Publish();
+  return st;
+}
+
+Status Collection::CompactLocked(size_t* compacted) {
   size_t rewritten = 0;
   const double trigger = options_.system.compaction_deleted_ratio;
   for (size_t i = 0; i < sealed_.size();) {
-    Segment& seg = *sealed_[i];
-    if (seg.deleted_rows() == 0 || seg.DeletedRatio() <= trigger) {
+    const SegmentView& view = sealed_[i];
+    if (view.deleted_rows() == 0 || view.DeletedRatio() <= trigger) {
       ++i;
       continue;
     }
     ++compactions_;
     ++rewritten;
-    if (seg.live_rows() == 0) {
+    if (view.live_rows() == 0) {
+      // Dropped from the writer state; the segment itself is freed when the
+      // last snapshot referencing it is dropped.
       sealed_.erase(sealed_.begin() + static_cast<ptrdiff_t>(i));
       continue;
     }
     // Rewrite from live rows under an explicit id map, then reseal through
     // the normal build path (deterministic: the seed depends only on the
-    // mutation history, never on thread count).
-    auto fresh = std::make_unique<Segment>(seg.base_id(), dim_);
+    // mutation history, never on thread count). The fresh segment is
+    // invisible until Publish, so it can be built in place.
+    const Segment& seg = *view.segment;
+    auto fresh = std::make_shared<Segment>(seg.base_id(), dim_);
     for (size_t r = 0; r < seg.rows(); ++r) {
-      if (seg.IsDeleted(r)) continue;
+      if (view.IsDeleted(r)) continue;
       fresh->AppendWithId(seg.data().Row(r), dim_, seg.IdAt(r));
     }
     Status st = fresh->Seal(options_.index.type, options_.metric,
@@ -162,51 +261,48 @@ Status Collection::Compact(size_t* compacted) {
                             options_.system.build_index_threshold,
                             options_.seed + 7919 * compactions_ + 13);
     if (!st.ok()) return st;
-    sealed_[i] = std::move(fresh);
+    sealed_[i] = SegmentView{std::move(fresh), nullptr};
     ++i;
   }
   if (compacted != nullptr) *compacted = rewritten;
   return Status::OK();
 }
 
+std::shared_ptr<const CollectionSnapshot> Collection::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void Collection::Publish() {
+  auto snap = std::make_shared<CollectionSnapshot>();
+  snap->sealed = sealed_;
+  snap->growing = GrowingView{growing_chunks_, growing_tombstones_,
+                              growing_base_, growing_rows_};
+  snap->buffer = buffer_;
+  snap->buffer_tombstones = buffer_tombstones_;
+  snap->buffer_deleted = buffer_deleted_;
+  snap->buffer_base = buffer_base_;
+  snap->metric = options_.metric;
+  snap->dim = dim_;
+  snap->params = options_.index.params;
+  snap->system = options_.system;
+  snap->stats = ComputeStatsLocked();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snap);
+}
+
 std::vector<Neighbor> Collection::Search(const float* query, size_t k,
                                          WorkCounters* counters) const {
-  if (k == 0 || query == nullptr) {
-    VDT_LOG(kWarning) << "Collection::Search: invalid arguments (k=" << k
-                      << (query == nullptr ? ", null query" : "")
-                      << "); returning empty";
-    return {};
-  }
-  TopKCollector merged(k);
-  for (const auto& seg : sealed_) {
-    for (const Neighbor& n : seg->Search(options_.metric, query, k, counters)) {
-      merged.Offer(n.id, n.distance);
-    }
-  }
-  if (growing_ && growing_->rows() > 0) {
-    for (const Neighbor& n :
-         growing_->Search(options_.metric, query, k, counters)) {
-      merged.Offer(n.id, n.distance);
-    }
-  }
-  if (buffer_.rows() > 0) {
-    const RowFilter filter(buffer_tombstones_.data());
-    const RowFilter* fp = buffer_deleted_ > 0 ? &filter : nullptr;
-    auto hits =
-        BruteForceSearch(buffer_, options_.metric, query, k, counters, fp);
-    for (const Neighbor& n : hits) {
-      merged.Offer(n.id + buffer_base_, n.distance);
-    }
-  }
-  return merged.Take();
+  return Snapshot()->SearchOne(query, k, counters);
 }
 
 std::vector<std::vector<Neighbor>> Collection::SearchBatch(
     const FloatMatrix& queries, size_t k, WorkCounters* counters,
     ParallelExecutor* executor) const {
-  if (queries.rows() > 0 && dim_ != 0 && queries.dim() != dim_) {
+  const std::shared_ptr<const CollectionSnapshot> snap = Snapshot();
+  if (queries.rows() > 0 && snap->dim != 0 && queries.dim() != snap->dim) {
     VDT_LOG(kWarning) << "Collection::SearchBatch: query dim "
-                      << queries.dim() << " != collection dim " << dim_
+                      << queries.dim() << " != collection dim " << snap->dim
                       << "; returning empty results";
     return std::vector<std::vector<Neighbor>>(queries.rows());
   }
@@ -215,43 +311,60 @@ std::vector<std::vector<Neighbor>> Collection::SearchBatch(
         << "Collection::SearchBatch: k must be > 0; returning empty results";
     return std::vector<std::vector<Neighbor>>(queries.rows());
   }
-  // The segment walk inside Search() is read-only between mutations, so the
-  // shared batch engine needs no locking.
+  // The whole batch runs against one snapshot, so concurrent mutations
+  // never tear it; the shared batch engine needs no locking.
   return ParallelSearchBatch(
       queries.rows(),
-      [&](size_t q, WorkCounters* wc) { return Search(queries.Row(q), k, wc); },
+      [&](size_t q, WorkCounters* wc) {
+        return snap->SearchOne(queries.Row(q), k, wc);
+      },
       counters, executor);
 }
 
+SearchResponse Collection::Search(const SearchRequest& request,
+                                  ParallelExecutor* executor) const {
+  return Snapshot()->Search(request, executor);
+}
+
 void Collection::UpdateSearchParams(const IndexParams& params) {
-  for (auto& seg : sealed_) seg->UpdateSearchParams(params);
-  if (growing_) growing_->UpdateSearchParams(params);
+  // Indexes are immutable under snapshot isolation: the knobs live in the
+  // snapshot and flow into every search as a per-call override, so no
+  // segment state changes here.
+  std::lock_guard<std::mutex> lock(mu_);
   options_.index.params = params;
+  Publish();
 }
 
 void Collection::OverrideRuntimeSystem(const SystemConfig& system) {
+  std::lock_guard<std::mutex> lock(mu_);
   options_.system.graceful_time_ms = system.graceful_time_ms;
   options_.system.max_read_concurrency = system.max_read_concurrency;
   options_.system.cache_ratio = system.cache_ratio;
   options_.system.compaction_deleted_ratio = system.compaction_deleted_ratio;
+  Publish();
 }
 
-CollectionStats Collection::Stats() const {
+CollectionStats Collection::Stats() const { return Snapshot()->stats; }
+
+CollectionStats Collection::ComputeStatsLocked() const {
   CollectionStats s;
   s.total_rows = static_cast<size_t>(next_id_);
   s.num_compactions = compactions_;
   s.num_sealed_segments = sealed_.size();
-  for (const auto& seg : sealed_) {
-    if (seg->indexed()) ++s.num_indexed_segments;
-    if (!seg->indexed()) s.growing_rows += seg->rows();  // brute-force rows
-    s.stored_rows += seg->rows();
-    s.live_rows += seg->live_rows();
-    s.index_bytes_actual += seg->IndexMemoryBytes();
+  for (const SegmentView& view : sealed_) {
+    const Segment& seg = *view.segment;
+    if (seg.indexed()) ++s.num_indexed_segments;
+    if (!seg.indexed()) s.growing_rows += seg.rows();  // brute-force rows
+    s.stored_rows += seg.rows();
+    s.live_rows += view.live_rows();
+    s.index_bytes_actual += seg.IndexMemoryBytes();
   }
-  if (growing_) {
-    s.growing_rows += growing_->rows();
-    s.stored_rows += growing_->rows();
-    s.live_rows += growing_->live_rows();
+  if (growing_rows_ > 0) {
+    const size_t deleted =
+        growing_tombstones_ != nullptr ? growing_tombstones_->deleted : 0;
+    s.growing_rows += growing_rows_;
+    s.stored_rows += growing_rows_;
+    s.live_rows += growing_rows_ - deleted;
   }
   s.growing_rows += buffer_.rows();
   s.stored_rows += buffer_.rows();
@@ -264,8 +377,8 @@ CollectionStats Collection::Stats() const {
   s.data_mb_paper_scale = options_.scale.MbForRows(s.stored_rows);
   // Index overhead relative to the data it covers, projected to paper scale.
   size_t covered_rows = 0;
-  for (const auto& seg : sealed_) {
-    if (seg->indexed()) covered_rows += seg->rows();
+  for (const SegmentView& view : sealed_) {
+    if (view.segment->indexed()) covered_rows += view.segment->rows();
   }
   const double data_bytes_actual =
       static_cast<double>(s.stored_rows) * static_cast<double>(dim_) * 4.0;

@@ -1,17 +1,30 @@
 // A collection: the ingest pipeline (insert buffer -> growing segment ->
 // sealed segments with indexes) plus cross-segment top-k search. This is the
 // unit the tuner's evaluator instantiates per configuration.
+//
+// Concurrency model (snapshot isolation):
+//  - Mutations (Insert, Delete, Compact, Flush, UpdateSearchParams,
+//    OverrideRuntimeSystem) serialize on a per-collection writer mutex,
+//    build the next state copy-on-write, and publish an immutable
+//    CollectionSnapshot at the end.
+//  - Reads (Search, SearchBatch, the typed Search(SearchRequest), Stats)
+//    grab the current snapshot and run entirely against it: no collection
+//    lock is held while searching, so searches proceed concurrently with
+//    each other and with any mutation — including Compact, which frees a
+//    rewritten segment only when the last in-flight reader drops its
+//    snapshot.
 #ifndef VDTUNER_VDMS_COLLECTION_H_
 #define VDTUNER_VDMS_COLLECTION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/float_matrix.h"
 #include "common/status.h"
 #include "index/index.h"
-#include "vdms/segment.h"
+#include "vdms/snapshot.h"
 #include "vdms/system_config.h"
 
 namespace vdt {
@@ -63,25 +76,9 @@ struct CollectionOptions {
   uint64_t seed = 13;
 };
 
-/// Aggregate statistics used by the cost model and the memory model.
-struct CollectionStats {
-  size_t total_rows = 0;     // rows ever inserted (ids handed out)
-  size_t stored_rows = 0;    // rows physically stored (live + tombstoned)
-  size_t live_rows = 0;      // stored rows that are not tombstoned
-  size_t tombstoned_rows = 0;  // stored - live
-  size_t num_compactions = 0;  // segment rewrites performed so far
-  size_t num_sealed_segments = 0;
-  size_t num_indexed_segments = 0;
-  size_t growing_rows = 0;   // growing segment + insert buffer (brute force)
-  size_t buffered_rows = 0;  // insert buffer only
-  size_t index_bytes_actual = 0;  // sum of index structures (actual scale)
-  double data_mb_paper_scale = 0.0;
-  double index_mb_paper_scale = 0.0;
-};
-
-/// The collection. Not thread-safe for concurrent mutations (Insert,
-/// Delete, Compact, Flush); Search is const and thread-safe between
-/// mutations.
+/// The collection. Mutations are thread-safe (serialized on the writer
+/// mutex); reads are lock-free snapshot reads, safe concurrently with any
+/// mutation.
 class Collection {
  public:
   explicit Collection(CollectionOptions options);
@@ -96,7 +93,8 @@ class Collection {
   /// and already-deleted ids are ignored; `deleted` (may be null) receives
   /// the number of rows newly tombstoned. Ends with a Compact() pass, so a
   /// delete can trigger segment rewrites (and their index rebuilds) inline,
-  /// mirroring Milvus' single-segment compaction trigger.
+  /// mirroring Milvus' single-segment compaction trigger. Tombstone bitmaps
+  /// are copy-on-write: searches already in flight keep the pre-delete view.
   Status Delete(const std::vector<int64_t>& ids, size_t* deleted = nullptr);
 
   /// Rewrites every sealed segment whose tombstoned fraction exceeds
@@ -105,31 +103,47 @@ class Collection {
   /// left with zero live rows are dropped outright. Idempotent: a rewritten
   /// segment has no tombstones, so a second pass is a no-op. `compacted`
   /// (may be null) receives the number of segments rewritten or dropped.
+  /// Concurrent searches keep reading the pre-compaction segments, which
+  /// are freed when the last reader drops its snapshot.
   Status Compact(size_t* compacted = nullptr);
 
   /// Flushes the insert buffer into the growing segment and seals every
   /// growing segment (end-of-ingest barrier, like Milvus flush+load).
   Status Flush();
 
+  /// The current published state. Searches against the returned snapshot
+  /// see exactly one collection state regardless of concurrent writers;
+  /// holding it pins the segment memory it references.
+  std::shared_ptr<const CollectionSnapshot> Snapshot() const;
+
   /// Merged top-k over *live* rows across sealed segments, the growing
   /// segment, and the insert buffer; tombstoned rows never surface.
-  /// Thread-safe. Invalid arguments (k == 0) log a warning and return
-  /// empty instead of invoking UB.
+  /// Lock-free snapshot read. Invalid arguments (k == 0) log a warning and
+  /// return empty instead of invoking UB.
   std::vector<Neighbor> Search(const float* query, size_t k,
                                WorkCounters* counters) const;
 
   /// Search() for every row of `queries`, sharded one query per task across
   /// `executor` (ParallelExecutor::Global() when null). Result i corresponds
   /// to queries.Row(i); results and the counter aggregate are identical to
-  /// calling Search() sequentially in row order. A query dimension that does
-  /// not match the collection (or k == 0) logs a warning and returns one
-  /// empty result per query instead of invoking UB.
+  /// calling Search() sequentially in row order. The whole batch runs
+  /// against one snapshot. A query dimension that does not match the
+  /// collection (or k == 0) logs a warning and returns one empty result per
+  /// query instead of invoking UB.
   std::vector<std::vector<Neighbor>> SearchBatch(
       const FloatMatrix& queries, size_t k, WorkCounters* counters,
       ParallelExecutor* executor = nullptr) const;
 
+  /// Typed entry point: executes `request` against the current snapshot
+  /// (see CollectionSnapshot::Search). The response carries per-query
+  /// counters and the stats of the snapshot that served it.
+  SearchResponse Search(const SearchRequest& request,
+                        ParallelExecutor* executor = nullptr) const;
+
   /// Re-applies search-time index knobs (nprobe/ef/reorder_k) without
-  /// rebuilding — used by the evaluator's build cache.
+  /// rebuilding — used by the evaluator's build cache. Publishes a new
+  /// snapshot; in-flight searches finish under the old knobs. For a
+  /// one-call override use SearchRequest::params instead.
   void UpdateSearchParams(const IndexParams& params);
 
   /// Overrides the system knobs that do not affect the segment layout
@@ -139,9 +153,16 @@ class Collection {
   /// untouched — callers guarantee they match (the build cache keys on them).
   void OverrideRuntimeSystem(const SystemConfig& system);
 
+  /// Snapshot-consistent statistics: always describes one published state
+  /// (stored == live + tombstoned even mid-churn).
   CollectionStats Stats() const;
+
+  /// Writer-side options. Safe between mutations; concurrent readers should
+  /// use Snapshot()->system / Snapshot()->params instead.
   const CollectionOptions& options() const { return options_; }
-  size_t dim() const { return dim_; }
+
+  /// Vector dimensionality (0 until the first insert); snapshot read.
+  size_t dim() const { return Snapshot()->dim; }
 
   /// Rows at which a growing segment seals:
   /// segment_max_size_mb * seal_proportion, in actual rows.
@@ -150,18 +171,41 @@ class Collection {
   size_t BufferRows() const;
 
  private:
+  Status InsertLocked(const FloatMatrix& rows);
+  Status CompactLocked(size_t* compacted);
+  /// Concatenates the growing chunks into one sealed segment and builds
+  /// its index (no-op when the growing tier is empty).
   Status SealGrowing();
-  /// Moves buffered rows (and their tombstone marks) into the growing
-  /// segment; creates the growing segment when absent.
+  /// Freezes the insert buffer into a new growing chunk, merging its
+  /// tombstone marks into the growing overlay (no-op on an empty buffer).
   void FlushBufferIntoGrowing();
+  /// Rebuilds `snapshot_` from the writer state and publishes it.
+  void Publish();
+  CollectionStats ComputeStatsLocked() const;
 
+  /// Writer mutex: serializes every mutation (and Publish). Never held
+  /// while searching.
+  mutable std::mutex mu_;
+  /// Guards only the `snapshot_` pointer swap; readers hold it for one
+  /// shared_ptr copy.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const CollectionSnapshot> snapshot_;
+
+  // --- writer state (guarded by mu_) ---
   CollectionOptions options_;
   size_t dim_ = 0;
   int64_t next_id_ = 0;
   size_t compactions_ = 0;  // segment rewrites so far (seeds the rebuilds)
 
-  std::vector<std::unique_ptr<Segment>> sealed_;
-  std::unique_ptr<Segment> growing_;
+  std::vector<SegmentView> sealed_;
+  /// The growing tier: one frozen chunk per buffer flush (shared with
+  /// published snapshots, never mutated), concatenated into a Segment at
+  /// seal time. Keeps streamed ingest O(buffer) per flush even though
+  /// every mutation publishes.
+  std::vector<std::shared_ptr<const FloatMatrix>> growing_chunks_;
+  int64_t growing_base_ = 0;   // collection id of the first growing row
+  size_t growing_rows_ = 0;    // total rows across growing_chunks_
+  std::shared_ptr<const TombstoneOverlay> growing_tombstones_;
   FloatMatrix buffer_;       // insert buffer (pre-growing rows)
   int64_t buffer_base_ = 0;  // collection id of buffer_ row 0
   /// Tombstones of buffered rows (1 = deleted), parallel to buffer_; carried

@@ -23,19 +23,14 @@ Status Segment::Seal(IndexType type, Metric metric, const IndexParams& params,
 }
 
 std::vector<Neighbor> Segment::Search(Metric metric, const float* query,
-                                      size_t k,
-                                      WorkCounters* counters) const {
-  const RowFilter filter(tombstones_.data());
-  const RowFilter* fp = deleted_ > 0 ? &filter : nullptr;
+                                      size_t k, WorkCounters* counters,
+                                      const RowFilter* filter,
+                                      const IndexParams* knobs) const {
   std::vector<Neighbor> local =
-      index_ ? index_->SearchFiltered(query, k, fp, counters)
-             : BruteForceSearch(data_, metric, query, k, counters, fp);
+      index_ ? index_->SearchFiltered(query, k, filter, counters, knobs)
+             : BruteForceSearch(data_, metric, query, k, counters, filter);
   for (auto& n : local) n.id = IdAt(static_cast<size_t>(n.id));
   return local;
-}
-
-void Segment::UpdateSearchParams(const IndexParams& params) {
-  if (index_) index_->UpdateSearchParams(params);
 }
 
 int64_t Segment::LocalOf(int64_t id) const {
@@ -47,18 +42,6 @@ int64_t Segment::LocalOf(int64_t id) const {
   const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
   if (it == ids_.end() || *it != id) return -1;
   return static_cast<int64_t>(it - ids_.begin());
-}
-
-bool Segment::Contains(int64_t id) const { return LocalOf(id) >= 0; }
-
-bool Segment::Delete(int64_t id) {
-  const int64_t local = LocalOf(id);
-  if (local < 0) return false;
-  if (tombstones_.empty()) tombstones_.assign(data_.rows(), 0);
-  if (tombstones_[local] != 0) return false;  // already deleted
-  tombstones_[local] = 1;
-  ++deleted_;
-  return true;
 }
 
 }  // namespace vdt

@@ -1,9 +1,16 @@
 // Segments: the storage unit of the VDMS. Growing segments accumulate rows
 // and are scanned brute-force; sealed segments own an immutable row range
-// and (above the build threshold) an ANNS index. Deletes tombstone rows in
-// place (a per-segment bitmap filters them out of every search); compaction
-// rewrites a segment from its live rows, which is when a segment acquires an
-// explicit id map (live collection ids are no longer contiguous).
+// and (above the build threshold) an ANNS index.
+//
+// A Segment is the *immutable core* of the snapshot read model: once a
+// segment has been published inside a CollectionSnapshot it is never
+// mutated again. Deletes therefore live outside the segment — each snapshot
+// pairs a segment with a copy-on-write TombstoneOverlay (see
+// vdms/snapshot.h) and passes the resulting RowFilter into Search().
+// Compaction rewrites a segment from its live rows into a *new* Segment,
+// which is when a segment acquires an explicit id map (live collection ids
+// are no longer contiguous); the old segment is freed when the last
+// in-flight snapshot referencing it is dropped.
 #ifndef VDTUNER_VDMS_SEGMENT_H_
 #define VDTUNER_VDMS_SEGMENT_H_
 
@@ -25,10 +32,7 @@ class Segment {
   Segment(int64_t base_id, size_t dim) : base_id_(base_id), data_(0, dim) {}
 
   /// Appends one row (growing state only).
-  void Append(const float* row, size_t dim) {
-    data_.AppendRow(row, dim);
-    if (!tombstones_.empty()) tombstones_.push_back(0);
-  }
+  void Append(const float* row, size_t dim) { data_.AppendRow(row, dim); }
 
   /// Appends one row under an explicit collection id (compaction rewrites).
   /// Ids must be appended in ascending order; mixing with plain Append on
@@ -36,7 +40,6 @@ class Segment {
   void AppendWithId(const float* row, size_t dim, int64_t id) {
     data_.AppendRow(row, dim);
     ids_.push_back(id);
-    if (!tombstones_.empty()) tombstones_.push_back(0);
   }
 
   /// Seals the segment and builds `type` over its rows when they number at
@@ -48,20 +51,22 @@ class Segment {
   Status Seal(IndexType type, Metric metric, const IndexParams& params,
               int build_threshold, uint64_t seed);
 
-  /// Top-k live rows within this segment; ids in the result are collection
-  /// row ids. Tombstoned rows never surface.
+  /// Top-k rows within this segment that `filter` declares live (null =
+  /// every row); ids in the result are collection row ids. `knobs` (may be
+  /// null) overrides search-time index parameters for this call only — see
+  /// VectorIndex::SearchFiltered. Thread-safe once the segment is no longer
+  /// mutated (the snapshot publication contract).
   std::vector<Neighbor> Search(Metric metric, const float* query, size_t k,
-                               WorkCounters* counters) const;
-
-  /// Re-applies search-time knobs to the built index (no rebuild).
-  void UpdateSearchParams(const IndexParams& params);
-
-  /// Tombstones the row whose collection id is `id`. Returns true when the
-  /// row exists here and was live; false for unknown or already-deleted ids.
-  bool Delete(int64_t id);
+                               WorkCounters* counters,
+                               const RowFilter* filter = nullptr,
+                               const IndexParams* knobs = nullptr) const;
 
   /// True when collection id `id` maps to a row of this segment.
-  bool Contains(int64_t id) const;
+  bool Contains(int64_t id) const { return LocalOf(id) >= 0; }
+
+  /// Local-row index for collection id `id`, or -1 when absent. Used by the
+  /// collection's delete routing to address the tombstone overlay.
+  int64_t LocalOf(int64_t id) const;
 
   /// Collection id of local row `local`.
   int64_t IdAt(size_t local) const {
@@ -69,23 +74,9 @@ class Segment {
                         : ids_[local];
   }
 
-  /// True when local row `local` is tombstoned.
-  bool IsDeleted(size_t local) const {
-    return !tombstones_.empty() && tombstones_[local] != 0;
-  }
-
   bool sealed() const { return sealed_; }
   bool indexed() const { return index_ != nullptr; }
   size_t rows() const { return data_.rows(); }
-  size_t deleted_rows() const { return deleted_; }
-  size_t live_rows() const { return data_.rows() - deleted_; }
-  /// Fraction of rows tombstoned (0 when empty).
-  double DeletedRatio() const {
-    return data_.rows() == 0
-               ? 0.0
-               : static_cast<double>(deleted_) /
-                     static_cast<double>(data_.rows());
-  }
   int64_t base_id() const { return base_id_; }
   const FloatMatrix& data() const { return data_; }
 
@@ -95,9 +86,6 @@ class Segment {
   }
 
  private:
-  /// Local-row index for collection id `id`, or -1 when absent.
-  int64_t LocalOf(int64_t id) const;
-
   int64_t base_id_;
   FloatMatrix data_;
   bool sealed_ = false;
@@ -105,9 +93,6 @@ class Segment {
   /// Explicit collection ids per row (ascending); empty = contiguous range
   /// starting at base_id_. Set by compaction rewrites.
   std::vector<int64_t> ids_;
-  /// Tombstone bitmap (1 = deleted); sized lazily on the first delete.
-  std::vector<uint8_t> tombstones_;
-  size_t deleted_ = 0;
 };
 
 }  // namespace vdt

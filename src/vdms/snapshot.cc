@@ -1,0 +1,150 @@
+#include "vdms/snapshot.h"
+
+#include "common/logging.h"
+#include "common/parallel_executor.h"
+#include "index/topk.h"
+
+namespace vdt {
+
+std::vector<Neighbor> GrowingView::Search(Metric metric, const float* query,
+                                          size_t k, WorkCounters* counters,
+                                          const IdFilter* id_filter) const {
+  TopKCollector merged(k);
+  size_t offset = 0;
+  for (const auto& chunk : chunks) {
+    // The overlay spans all chunks; offsetting the bitmap pointer gives
+    // each chunk its local view of it.
+    const uint8_t* bits = tombstones != nullptr && tombstones->deleted > 0
+                              ? tombstones->bits.data() + offset
+                              : nullptr;
+    RowFilter::Predicate local_pred;
+    if (id_filter != nullptr) {
+      const int64_t chunk_base = base + static_cast<int64_t>(offset);
+      local_pred = [id_filter, chunk_base](int64_t local) {
+        return (*id_filter)(chunk_base + local);
+      };
+    }
+    const RowFilter filter(bits,
+                           id_filter != nullptr ? &local_pred : nullptr);
+    const RowFilter* fp =
+        bits != nullptr || id_filter != nullptr ? &filter : nullptr;
+    for (const Neighbor& n :
+         BruteForceSearch(*chunk, metric, query, k, counters, fp)) {
+      merged.Offer(n.id + base + static_cast<int64_t>(offset), n.distance);
+    }
+    offset += chunk->rows();
+  }
+  return merged.Take();
+}
+
+std::vector<Neighbor> SegmentView::Search(Metric metric, const float* query,
+                                          size_t k, WorkCounters* counters,
+                                          const IdFilter* id_filter,
+                                          const IndexParams* knobs) const {
+  const uint8_t* bits = tombstones != nullptr && tombstones->deleted > 0
+                            ? tombstones->bits.data()
+                            : nullptr;
+  // Translate the collection-id predicate into this segment's local ids.
+  RowFilter::Predicate local_pred;
+  if (id_filter != nullptr) {
+    local_pred = [this, id_filter](int64_t local) {
+      return (*id_filter)(segment->IdAt(static_cast<size_t>(local)));
+    };
+  }
+  const RowFilter filter(bits, id_filter != nullptr ? &local_pred : nullptr);
+  const RowFilter* fp =
+      bits != nullptr || id_filter != nullptr ? &filter : nullptr;
+  return segment->Search(metric, query, k, counters, fp, knobs);
+}
+
+std::vector<Neighbor> CollectionSnapshot::SearchOne(
+    const float* query, size_t k, WorkCounters* counters,
+    const IdFilter* id_filter, const IndexParams* knobs) const {
+  if (k == 0 || query == nullptr) {
+    VDT_LOG(kWarning) << "CollectionSnapshot::SearchOne: invalid arguments "
+                      << "(k=" << k
+                      << (query == nullptr ? ", null query" : "")
+                      << "); returning empty";
+    return {};
+  }
+  if (knobs == nullptr) knobs = &params;
+
+  TopKCollector merged(k);
+  for (const SegmentView& view : sealed) {
+    for (const Neighbor& n :
+         view.Search(metric, query, k, counters, id_filter, knobs)) {
+      merged.Offer(n.id, n.distance);
+    }
+  }
+  if (growing.rows > 0) {
+    for (const Neighbor& n :
+         growing.Search(metric, query, k, counters, id_filter)) {
+      merged.Offer(n.id, n.distance);
+    }
+  }
+  if (buffer.rows() > 0) {
+    const uint8_t* bits =
+        buffer_deleted > 0 ? buffer_tombstones.data() : nullptr;
+    RowFilter::Predicate buffer_pred;
+    if (id_filter != nullptr) {
+      buffer_pred = [this, id_filter](int64_t local) {
+        return (*id_filter)(local + buffer_base);
+      };
+    }
+    const RowFilter filter(bits,
+                           id_filter != nullptr ? &buffer_pred : nullptr);
+    const RowFilter* fp =
+        bits != nullptr || id_filter != nullptr ? &filter : nullptr;
+    for (const Neighbor& n :
+         BruteForceSearch(buffer, metric, query, k, counters, fp)) {
+      merged.Offer(n.id + buffer_base, n.distance);
+    }
+  }
+  return merged.Take();
+}
+
+SearchResponse CollectionSnapshot::Search(const SearchRequest& request,
+                                          ParallelExecutor* executor) const {
+  return Execute(request.queries, request.k,
+                 request.filter ? &request.filter : nullptr,
+                 request.params.has_value() ? &request.params.value() : nullptr,
+                 executor);
+}
+
+SearchResponse CollectionSnapshot::Execute(const FloatMatrix& queries,
+                                           size_t k,
+                                           const IdFilter* id_filter,
+                                           const IndexParams* knobs,
+                                           ParallelExecutor* executor) const {
+  SearchResponse response;
+  const size_t nq = queries.rows();
+  response.neighbors.resize(nq);
+  response.query_work.resize(nq);
+  response.stats = stats;
+  if (nq == 0) return response;
+
+  if (dim != 0 && queries.dim() != dim) {
+    VDT_LOG(kWarning) << "CollectionSnapshot::Search: query dim "
+                      << queries.dim() << " != collection dim " << dim
+                      << "; returning empty results";
+    return response;
+  }
+  if (k == 0) {
+    VDT_LOG(kWarning)
+        << "CollectionSnapshot::Search: k must be > 0; returning empty results";
+    return response;
+  }
+
+  if (executor == nullptr) executor = &ParallelExecutor::Global();
+  executor->ParallelFor(nq, [&](size_t q) {
+    response.neighbors[q] = SearchOne(queries.Row(q), k,
+                                      &response.query_work[q], id_filter,
+                                      knobs);
+  });
+  // Fold per-query counters in query order: the aggregate is bit-identical
+  // to the sequential loop no matter how the queries were scheduled.
+  for (size_t q = 0; q < nq; ++q) response.work.Add(response.query_work[q]);
+  return response;
+}
+
+}  // namespace vdt

@@ -1,0 +1,139 @@
+// The snapshot read model behind the concurrent engine API.
+//
+// A CollectionSnapshot is an immutable, self-contained view of one
+// published collection state: shared references to the sealed and growing
+// segments, copy-on-write tombstone overlays, a copy of the insert buffer,
+// and the statistics / search knobs / runtime system config in effect when
+// the snapshot was published. Searches run *entirely* against a snapshot —
+// no collection or engine lock is held — while writers build the next state
+// under the collection's writer mutex and publish it atomically. Segment
+// memory is reclaimed by shared_ptr: a compaction or drop frees a segment
+// only when the last in-flight reader drops its snapshot.
+#ifndef VDTUNER_VDMS_SNAPSHOT_H_
+#define VDTUNER_VDMS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/float_matrix.h"
+#include "vdms/api.h"
+#include "vdms/segment.h"
+#include "vdms/system_config.h"
+
+namespace vdt {
+
+class ParallelExecutor;
+
+/// Copy-on-write tombstone bitmap for one segment (1 = deleted, one byte
+/// per row, `bits` always sized to the segment's rows). Immutable once
+/// published: a delete clones the overlay, flips bits in the clone, and
+/// publishes the clone — readers of older snapshots keep the old bitmap.
+struct TombstoneOverlay {
+  std::vector<uint8_t> bits;
+  size_t deleted = 0;
+};
+
+/// The growing tier as a snapshot sees it: frozen row chunks (one per
+/// buffer flush — sharing them keeps streamed ingest O(buffer) per flush
+/// instead of re-copying the growing rows) plus the tombstone overlay that
+/// was current at publish time, spanning all chunks. Rows are contiguous
+/// collection ids starting at `base`; chunk boundaries are invisible to
+/// results and work counters.
+struct GrowingView {
+  std::vector<std::shared_ptr<const FloatMatrix>> chunks;
+  std::shared_ptr<const TombstoneOverlay> tombstones;
+  int64_t base = 0;
+  size_t rows = 0;
+
+  size_t deleted_rows() const { return tombstones ? tombstones->deleted : 0; }
+  size_t live_rows() const { return rows - deleted_rows(); }
+
+  /// Brute-force top-k over the live rows of every chunk (growing rows are
+  /// never indexed); result ids are collection row ids.
+  std::vector<Neighbor> Search(Metric metric, const float* query, size_t k,
+                               WorkCounters* counters,
+                               const IdFilter* id_filter) const;
+};
+
+/// One segment as a snapshot sees it: the immutable segment core plus the
+/// tombstone overlay that was current at publish time (null = no deletes).
+struct SegmentView {
+  std::shared_ptr<const Segment> segment;
+  std::shared_ptr<const TombstoneOverlay> tombstones;
+
+  size_t rows() const { return segment ? segment->rows() : 0; }
+  size_t deleted_rows() const { return tombstones ? tombstones->deleted : 0; }
+  size_t live_rows() const { return rows() - deleted_rows(); }
+  double DeletedRatio() const {
+    const size_t n = rows();
+    return n == 0 ? 0.0
+                  : static_cast<double>(deleted_rows()) /
+                        static_cast<double>(n);
+  }
+  bool IsDeleted(size_t local) const {
+    return tombstones != nullptr && tombstones->bits[local] != 0;
+  }
+
+  /// Segment top-k over rows that are live in this view and pass
+  /// `id_filter` (a collection-id predicate, may be null). Result ids are
+  /// collection row ids.
+  std::vector<Neighbor> Search(Metric metric, const float* query, size_t k,
+                               WorkCounters* counters,
+                               const IdFilter* id_filter,
+                               const IndexParams* knobs) const;
+};
+
+/// An immutable published collection state. Built by Collection::Publish;
+/// read by every search path. All members are set before publication and
+/// never change afterwards, so any number of threads may search one
+/// snapshot concurrently.
+class CollectionSnapshot {
+ public:
+  /// Merged top-k over live rows across sealed segments, the growing
+  /// segment, and the buffer copy; tombstoned rows never surface.
+  /// `id_filter` (may be null) additionally restricts results to collection
+  /// ids it accepts; `knobs` (null = this snapshot's params) overrides
+  /// search-time index parameters. Invalid arguments (k == 0, null query)
+  /// log a warning and return empty instead of invoking UB.
+  std::vector<Neighbor> SearchOne(const float* query, size_t k,
+                                  WorkCounters* counters,
+                                  const IdFilter* id_filter = nullptr,
+                                  const IndexParams* knobs = nullptr) const;
+
+  /// Executes a typed request against this snapshot, sharding queries
+  /// one-per-task across `executor` (ParallelExecutor::Global() when null).
+  /// Results and the counter aggregate are bit-identical to a sequential
+  /// loop in query order. A query dimension mismatch (or k == 0) logs a
+  /// warning and returns one empty result per query.
+  SearchResponse Search(const SearchRequest& request,
+                        ParallelExecutor* executor = nullptr) const;
+
+  /// The zero-copy core behind Search(): executes `queries` (borrowed by
+  /// reference; must outlive the call) with explicit filter/knob pointers
+  /// (either may be null). Replay-style callers that already own a query
+  /// matrix use this to avoid copying it into a SearchRequest.
+  SearchResponse Execute(const FloatMatrix& queries, size_t k,
+                         const IdFilter* id_filter, const IndexParams* knobs,
+                         ParallelExecutor* executor) const;
+
+  // --- state (filled by Collection::Publish, immutable afterwards) ---
+  std::vector<SegmentView> sealed;
+  GrowingView growing;               // rows == 0 when absent
+  /// Copy of the insert buffer — the one tier copied per publish, by
+  /// design: it is bounded by the insertBufSize knob (hundreds of rows),
+  /// and copying it is what lets the writer keep appending in place.
+  FloatMatrix buffer;
+  std::vector<uint8_t> buffer_tombstones;  // parallel to buffer rows
+  size_t buffer_deleted = 0;
+  int64_t buffer_base = 0;           // collection id of buffer row 0
+  Metric metric = Metric::kAngular;
+  size_t dim = 0;                    // 0 until the first insert
+  IndexParams params;                // search-time knobs in effect
+  SystemConfig system;               // runtime system knobs in effect
+  CollectionStats stats;             // snapshot-consistent statistics
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_VDMS_SNAPSHOT_H_

@@ -2,21 +2,87 @@
 
 namespace vdt {
 
+// ------------------------------------------------------- CollectionHandle
+
+CollectionHandle::CollectionHandle(std::shared_ptr<Collection> collection,
+                                   std::shared_ptr<std::atomic<int>> count)
+    : collection_(std::move(collection)), count_(std::move(count)) {
+  if (count_ != nullptr) count_->fetch_add(1, std::memory_order_relaxed);
+}
+
+CollectionHandle::CollectionHandle(const CollectionHandle& other)
+    : collection_(other.collection_), count_(other.count_) {
+  if (count_ != nullptr) count_->fetch_add(1, std::memory_order_relaxed);
+}
+
+CollectionHandle& CollectionHandle::operator=(const CollectionHandle& other) {
+  if (this == &other) return *this;
+  reset();
+  collection_ = other.collection_;
+  count_ = other.count_;
+  if (count_ != nullptr) count_->fetch_add(1, std::memory_order_relaxed);
+  return *this;
+}
+
+CollectionHandle& CollectionHandle::operator=(
+    CollectionHandle&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  collection_ = std::move(other.collection_);
+  count_ = std::move(other.count_);
+  return *this;
+}
+
+CollectionHandle::~CollectionHandle() { reset(); }
+
+void CollectionHandle::reset() {
+  if (count_ != nullptr) count_->fetch_sub(1, std::memory_order_relaxed);
+  count_.reset();
+  collection_.reset();
+}
+
+// ------------------------------------------------------------- VdmsEngine
+
 Status VdmsEngine::CreateCollection(const CollectionOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
   if (collections_.count(options.name) > 0) {
     return Status::AlreadyExists("collection '" + options.name + "' exists");
   }
-  collections_.emplace(options.name, std::make_unique<Collection>(options));
+  Entry entry;
+  entry.collection = std::make_shared<Collection>(options);
+  collections_.emplace(options.name, std::move(entry));
   return Status::OK();
 }
 
 Status VdmsEngine::DropCollection(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (collections_.erase(name) == 0) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
     return Status::NotFound("collection '" + name + "' not found");
   }
+  const int live = it->second.handles->load(std::memory_order_relaxed);
+  if (live > 0) {
+    return Status::FailedPrecondition(
+        "collection '" + name + "' has " + std::to_string(live) +
+        " live handle(s); release them before dropping");
+  }
+  collections_.erase(it);
   return Status::OK();
+}
+
+Result<CollectionHandle> VdmsEngine::Open(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name + "' not found");
+  }
+  return CollectionHandle(it->second.collection, it->second.handles);
+}
+
+std::shared_ptr<Collection> VdmsEngine::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.collection;
 }
 
 bool VdmsEngine::HasCollection(const std::string& name) const {
@@ -28,85 +94,78 @@ std::vector<std::string> VdmsEngine::ListCollections() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(collections_.size());
+  // std::map iterates in key order, so the listing is sorted by contract.
   for (const auto& [name, _] : collections_) names.push_back(name);
   return names;
 }
 
 Status VdmsEngine::Insert(const std::string& name, const FloatMatrix& rows) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = collections_.find(name);
-  if (it == collections_.end()) {
+  auto collection = Find(name);
+  if (collection == nullptr) {
     return Status::NotFound("collection '" + name + "' not found");
   }
-  return it->second->Insert(rows);
+  return collection->Insert(rows);
 }
 
 Status VdmsEngine::Delete(const std::string& name,
                           const std::vector<int64_t>& ids, size_t* deleted) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = collections_.find(name);
-  if (it == collections_.end()) {
+  auto collection = Find(name);
+  if (collection == nullptr) {
     return Status::NotFound("collection '" + name + "' not found");
   }
-  return it->second->Delete(ids, deleted);
+  return collection->Delete(ids, deleted);
 }
 
 Status VdmsEngine::Compact(const std::string& name, size_t* compacted) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = collections_.find(name);
-  if (it == collections_.end()) {
+  auto collection = Find(name);
+  if (collection == nullptr) {
     return Status::NotFound("collection '" + name + "' not found");
   }
-  return it->second->Compact(compacted);
+  return collection->Compact(compacted);
 }
 
 Status VdmsEngine::Flush(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = collections_.find(name);
-  if (it == collections_.end()) {
+  auto collection = Find(name);
+  if (collection == nullptr) {
     return Status::NotFound("collection '" + name + "' not found");
   }
-  return it->second->Flush();
+  return collection->Flush();
 }
 
-Result<std::vector<Neighbor>> VdmsEngine::Search(const std::string& name,
-                                                 const float* query, size_t k,
-                                                 WorkCounters* counters) const {
-  // The lock is held for the whole search: Delete/Compact replace and free
-  // segments in place, so a search racing a mutation would read freed
-  // memory. Engine-level search is the convenience surface, not the hot
-  // path (the evaluator drives Collection::SearchBatch directly with
-  // external synchronization), so serializing here costs nothing real.
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = collections_.find(name);
-  if (it == collections_.end()) {
+Result<SearchResponse> VdmsEngine::Search(const std::string& name,
+                                          const SearchRequest& request,
+                                          ParallelExecutor* executor) const {
+  auto collection = Find(name);
+  if (collection == nullptr) {
     return Status::NotFound("collection '" + name + "' not found");
   }
-  return it->second->Search(query, k, counters);
+  if (options_.serialize_reads) {
+    // The pre-snapshot behavior, kept only for bench/micro_engine.cc: every
+    // search funnels through one engine-wide mutex.
+    std::lock_guard<std::mutex> lock(serialize_mu_);
+    return collection->Search(request, executor);
+  }
+  // Snapshot read: no engine or collection lock held from here on.
+  return collection->Search(request, executor);
 }
 
 Result<CollectionStats> VdmsEngine::GetStats(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = collections_.find(name);
-  if (it == collections_.end()) {
+  auto collection = Find(name);
+  if (collection == nullptr) {
     return Status::NotFound("collection '" + name + "' not found");
   }
-  return it->second->Stats();
+  return collection->Stats();
 }
 
 Result<MemoryBreakdown> VdmsEngine::GetMemory(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = collections_.find(name);
-  if (it == collections_.end()) {
+  auto collection = Find(name);
+  if (collection == nullptr) {
     return Status::NotFound("collection '" + name + "' not found");
   }
-  return ComputeMemory(it->second->Stats(), it->second->options().system);
-}
-
-Collection* VdmsEngine::GetCollection(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = collections_.find(name);
-  return it == collections_.end() ? nullptr : it->second.get();
+  // One snapshot supplies both stats and the system knobs, so the breakdown
+  // is internally consistent even while writers run.
+  const auto snapshot = collection->Snapshot();
+  return ComputeMemory(snapshot->stats, snapshot->system);
 }
 
 }  // namespace vdt

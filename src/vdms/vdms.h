@@ -1,28 +1,84 @@
-// VdmsEngine: the top-level database API (create/drop collections, insert,
-// delete, compact, flush, search). A thin, thread-safe management layer
-// over Collection — every operation (including Search, which would
-// otherwise race segment-freeing Delete/Compact) serializes on one engine
-// mutex. This is the convenience surface the examples program against;
-// performance-critical callers use Collection directly with external
-// synchronization.
+// VdmsEngine: the top-level database API (create/drop/open collections,
+// insert, delete, compact, flush, typed search). A thin, thread-safe
+// management layer over Collection.
+//
+// Concurrency model:
+//  - The engine mutex guards only the name -> collection map; it is held
+//    for a lookup, never across an operation.
+//  - Mutations serialize on the target collection's writer mutex.
+//  - Search runs entirely against a published CollectionSnapshot with no
+//    engine or collection lock held, so searches scale with client threads
+//    and proceed during Insert/Delete/Compact/Flush on the same collection.
+//  - Open() returns a ref-counted CollectionHandle; DropCollection refuses
+//    while handles are live (the error names the live-handle count), so a
+//    drop can never free memory out from under a handle holder. Name-based
+//    operations in flight during a successful drop finish safely on their
+//    own reference; the collection is freed when the last one completes.
 #ifndef VDTUNER_VDMS_VDMS_H_
 #define VDTUNER_VDMS_VDMS_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "vdms/api.h"
 #include "vdms/collection.h"
 #include "vdms/memory_model.h"
 
 namespace vdt {
 
+class ParallelExecutor;
+
+/// Engine construction knobs.
+struct VdmsEngineOptions {
+  /// Benchmark-only compatibility switch: serializes every Search on one
+  /// engine-wide mutex, reproducing the pre-snapshot read path so
+  /// bench/micro_engine.cc can measure what snapshot reads buy. Never
+  /// enable outside benchmarks.
+  bool serialize_reads = false;
+};
+
+/// A ref-counted lease on an open collection. While any handle is live,
+/// DropCollection refuses (naming the live-handle count), so the pointed-to
+/// collection can never be freed out from under the holder — the safe
+/// replacement for the raw Collection* the engine used to hand out.
+/// Copyable (each copy counts) and movable; release early with reset().
+class CollectionHandle {
+ public:
+  CollectionHandle() = default;
+  CollectionHandle(const CollectionHandle& other);
+  CollectionHandle& operator=(const CollectionHandle& other);
+  CollectionHandle(CollectionHandle&& other) noexcept = default;
+  CollectionHandle& operator=(CollectionHandle&& other) noexcept;
+  ~CollectionHandle();
+
+  Collection* get() const { return collection_.get(); }
+  Collection* operator->() const { return collection_.get(); }
+  Collection& operator*() const { return *collection_; }
+  explicit operator bool() const { return collection_ != nullptr; }
+
+  /// Releases the lease now (the destructor otherwise does). After this the
+  /// handle is empty and no longer blocks DropCollection.
+  void reset();
+
+ private:
+  friend class VdmsEngine;
+  CollectionHandle(std::shared_ptr<Collection> collection,
+                   std::shared_ptr<std::atomic<int>> count);
+
+  std::shared_ptr<Collection> collection_;
+  std::shared_ptr<std::atomic<int>> count_;
+};
+
 /// An in-process vector data management system instance.
 class VdmsEngine {
  public:
   VdmsEngine() = default;
+  explicit VdmsEngine(const VdmsEngineOptions& options) : options_(options) {}
 
   VdmsEngine(const VdmsEngine&) = delete;
   VdmsEngine& operator=(const VdmsEngine&) = delete;
@@ -30,10 +86,19 @@ class VdmsEngine {
   /// Creates a collection; fails with AlreadyExists on a name collision.
   Status CreateCollection(const CollectionOptions& options);
 
-  /// Drops a collection; fails with NotFound when absent.
+  /// Drops a collection; fails with NotFound when absent and with
+  /// FailedPrecondition (naming the live-handle count) while Open() handles
+  /// are outstanding. In-flight name-based operations finish safely on
+  /// their own reference.
   Status DropCollection(const std::string& name);
 
+  /// Opens a ref-counted handle on `name` for direct Collection access
+  /// (the tuner's evaluator drives replay through one); NotFound when
+  /// absent. The handle blocks DropCollection until released.
+  Result<CollectionHandle> Open(const std::string& name);
+
   bool HasCollection(const std::string& name) const;
+  /// Collection names, sorted ascending.
   std::vector<std::string> ListCollections() const;
 
   /// Inserts rows into `name`.
@@ -46,25 +111,42 @@ class VdmsEngine {
                 size_t* deleted = nullptr);
 
   /// Runs the compaction pass on `name` (see Collection::Compact).
+  /// Concurrent searches keep their snapshots; replaced segments are freed
+  /// when the last in-flight reader drops.
   Status Compact(const std::string& name, size_t* compacted = nullptr);
 
   /// Flushes buffered rows and seals growing segments of `name`.
   Status Flush(const std::string& name);
 
-  /// Top-k search. `counters` may be null.
-  Result<std::vector<Neighbor>> Search(const std::string& name,
-                                       const float* query, size_t k,
-                                       WorkCounters* counters = nullptr) const;
+  /// Executes a typed search against `name`'s current snapshot, sharding
+  /// the query batch across `executor` (the process-wide ParallelExecutor
+  /// when null). No engine lock is held while searching.
+  Result<SearchResponse> Search(const std::string& name,
+                                const SearchRequest& request,
+                                ParallelExecutor* executor = nullptr) const;
 
+  /// Snapshot-consistent statistics (stored == live + tombstoned even while
+  /// writers run).
   Result<CollectionStats> GetStats(const std::string& name) const;
   Result<MemoryBreakdown> GetMemory(const std::string& name) const;
 
-  /// Direct access for the tuner's evaluator (nullptr when absent).
-  Collection* GetCollection(const std::string& name);
-
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Collection>> collections_;
+  struct Entry {
+    std::shared_ptr<Collection> collection;
+    /// Live Open() handles; guards DropCollection.
+    std::shared_ptr<std::atomic<int>> handles =
+        std::make_shared<std::atomic<int>>(0);
+  };
+
+  /// The collection named `name` (nullptr when absent); holds mu_ for the
+  /// map lookup only.
+  std::shared_ptr<Collection> Find(const std::string& name) const;
+
+  VdmsEngineOptions options_;
+  mutable std::mutex mu_;  // guards collections_ (the map), nothing else
+  /// Bench-compat: held across Search when options_.serialize_reads.
+  mutable std::mutex serialize_mu_;
+  std::map<std::string, Entry> collections_;
 };
 
 }  // namespace vdt

@@ -196,10 +196,11 @@ ChurnReplayResult ReplayChurn(Collection* collection,
       batch.AppendRow(workload.queries.Row(workload.ops[q].query),
                       workload.queries.dim());
     }
-    const auto hits =
-        collection->SearchBatch(batch, workload.k, &total, executor);
+    const SearchResponse response = collection->Search(
+        SearchRequest::Batch(std::move(batch), workload.k), executor);
+    total.Add(response.work);
     for (size_t q = i; q < j; ++q) {
-      recall_sum += RecallAtK(hits[q - i], workload.ops[q].truth);
+      recall_sum += RecallAtK(response.neighbors[q - i], workload.ops[q].truth);
       ++result.searches;
     }
     i = j;

@@ -19,7 +19,9 @@ ReplayResult ReplayWorkload(const Collection& collection,
     return result;
   }
 
-  const CollectionStats stats = collection.Stats();
+  // In cost-model mode the stats are replaced by the ones of the snapshot
+  // that served the batch, so QPS and memory describe one collection state.
+  CollectionStats stats = collection.Stats();
   const SystemConfig& system = collection.options().system;
 
   double recall_sum = 0.0;
@@ -44,19 +46,24 @@ ReplayResult ReplayWorkload(const Collection& collection,
     result.replay_seconds = wall;
   } else {
     // Deterministic pass: count work, derive QPS from the machine model.
-    // Queries run as a parallel batch; recall is folded in query order so
-    // the floating-point sum is bit-identical to the sequential loop.
+    // Queries run as one typed request against one snapshot; recall is
+    // folded in query order so the floating-point sum is bit-identical to
+    // the sequential loop.
     std::unique_ptr<ParallelExecutor> dedicated;
     ParallelExecutor* executor = options.executor;
     if (executor == nullptr && options.batch_threads > 0) {
       dedicated = std::make_unique<ParallelExecutor>(options.batch_threads);
       executor = dedicated.get();
     }
-    auto batch =
-        collection.SearchBatch(workload.queries, workload.k, &total, executor);
+    // Borrowing form of the typed surface: the workload owns the query
+    // matrix, so nothing is copied per evaluation.
+    const SearchResponse response = collection.Snapshot()->Execute(
+        workload.queries, workload.k, nullptr, nullptr, executor);
     for (size_t q = 0; q < nq; ++q) {
-      recall_sum += RecallAtK(batch[q], workload.ground_truth[q]);
+      recall_sum += RecallAtK(response.neighbors[q], workload.ground_truth[q]);
     }
+    total = response.work;
+    stats = response.stats;
     result.qps = ComputeQps(options.cost, total, nq, collection.dim(), stats,
                             system, workload.concurrency);
     result.replay_seconds =

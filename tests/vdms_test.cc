@@ -3,7 +3,10 @@
 // paper's Figure 1 relies on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "common/parallel_executor.h"
 #include "tests/test_util.h"
@@ -251,9 +254,11 @@ TEST(VdmsEngineTest, CollectionLifecycle) {
   ASSERT_TRUE(engine.Insert("test", data).ok());
   ASSERT_TRUE(engine.Flush("test").ok());
 
-  auto hits = engine.Search("test", data.Row(3), 1);
-  ASSERT_TRUE(hits.ok());
-  EXPECT_EQ((*hits)[0].id, 3);
+  auto response = engine.Search("test", SearchRequest::Single(data.Row(3), 16, 1));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->top()[0].id, 3);
+  EXPECT_GT(response->work.Total(), 0u);
+  EXPECT_EQ(response->stats.total_rows, 500u);  // snapshot stats ride along
 
   auto stats = engine.GetStats("test");
   ASSERT_TRUE(stats.ok());
@@ -265,8 +270,167 @@ TEST(VdmsEngineTest, CollectionLifecycle) {
 
   ASSERT_TRUE(engine.DropCollection("test").ok());
   EXPECT_EQ(engine.DropCollection("test").code(), StatusCode::kNotFound);
-  EXPECT_EQ(engine.Search("missing", data.Row(0), 1).status().code(),
+  EXPECT_EQ(engine.Search("missing", SearchRequest::Single(data.Row(0), 16, 1))
+                .status()
+                .code(),
             StatusCode::kNotFound);
+}
+
+TEST(VdmsEngineTest, TypedBatchSearchReportsPerQueryWork) {
+  VdmsEngine engine;
+  auto opts = SmallOptions(400);
+  opts.name = "batch";
+  ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  FloatMatrix data = RandomMatrix(400, 16, 44);
+  ASSERT_TRUE(engine.Insert("batch", data).ok());
+  ASSERT_TRUE(engine.Flush("batch").ok());
+
+  SearchRequest request = SearchRequest::Batch(RandomMatrix(6, 16, 45), 3);
+  auto response = engine.Search("batch", request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->neighbors.size(), 6u);
+  ASSERT_EQ(response->query_work.size(), 6u);
+  WorkCounters folded;
+  for (const WorkCounters& wc : response->query_work) folded.Add(wc);
+  EXPECT_EQ(folded.Total(), response->work.Total());
+  for (const auto& hits : response->neighbors) EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(VdmsEngineTest, RequestFilterRestrictsResultsToAcceptedIds) {
+  VdmsEngine engine;
+  auto opts = SmallOptions(300);
+  opts.index.type = IndexType::kFlat;
+  opts.name = "filtered";
+  ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  FloatMatrix data = RandomMatrix(300, 16, 46);
+  ASSERT_TRUE(engine.Insert("filtered", data).ok());
+  ASSERT_TRUE(engine.Flush("filtered").ok());
+
+  SearchRequest request = SearchRequest::Single(data.Row(10), 16, 5);
+  request.filter = [](int64_t id) { return id % 2 == 0; };
+  auto response = engine.Search("filtered", request);
+  ASSERT_TRUE(response.ok());
+  // Over-fetch keeps the result at k even though half the rows are filtered.
+  ASSERT_EQ(response->top().size(), 5u);
+  for (const Neighbor& n : response->top()) EXPECT_EQ(n.id % 2, 0);
+  EXPECT_EQ(response->top()[0].id, 10);  // the query row itself is even
+
+  // An odd query row can never surface under the filter.
+  SearchRequest odd = SearchRequest::Single(data.Row(11), 16, 5);
+  odd.filter = [](int64_t id) { return id % 2 == 0; };
+  auto odd_response = engine.Search("filtered", odd);
+  ASSERT_TRUE(odd_response.ok());
+  for (const Neighbor& n : odd_response->top()) EXPECT_NE(n.id, 11);
+}
+
+TEST(VdmsEngineTest, PerRequestKnobOverridesDoNotMutateTheCollection) {
+  VdmsEngine engine;
+  auto opts = SmallOptions(1500);
+  opts.index.params.nlist = 32;
+  opts.index.params.nprobe = 32;
+  opts.name = "knobs";
+  ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  FloatMatrix data = RandomMatrix(1500, 16, 47);
+  ASSERT_TRUE(engine.Insert("knobs", data).ok());
+  ASSERT_TRUE(engine.Flush("knobs").ok());
+
+  SearchRequest wide = SearchRequest::Single(data.Row(0), 16, 10);
+  const auto wide_response = engine.Search("knobs", wide);
+  ASSERT_TRUE(wide_response.ok());
+
+  SearchRequest narrow = wide;
+  narrow.params = opts.index.params;
+  narrow.params->nprobe = 2;
+  const auto narrow_response = engine.Search("knobs", narrow);
+  ASSERT_TRUE(narrow_response.ok());
+  EXPECT_LT(narrow_response->work.full_distance_evals,
+            wide_response->work.full_distance_evals);
+
+  // The override was per-request: the same plain request still probes wide.
+  const auto again = engine.Search("knobs", wide);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->work.full_distance_evals,
+            wide_response->work.full_distance_evals);
+}
+
+TEST(VdmsEngineTest, ListCollectionsIsSorted) {
+  VdmsEngine engine;
+  for (const char* name : {"zeta", "alpha", "mu", "beta"}) {
+    auto opts = SmallOptions(10);
+    opts.name = name;
+    ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  }
+  const std::vector<std::string> names = engine.ListCollections();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names.front(), "alpha");
+  EXPECT_EQ(names.back(), "zeta");
+}
+
+// Regression for the old GetCollection()/DropCollection() use-after-free
+// window: a raw pointer could dangle across a drop. Handles are counted,
+// and a drop refuses while any are live — naming the count.
+TEST(VdmsEngineTest, DropWithLiveHandlesRefusesAndNamesTheCount) {
+  VdmsEngine engine;
+  auto opts = SmallOptions(50);
+  opts.name = "held";
+  ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  FloatMatrix data = RandomMatrix(50, 16, 48);
+  ASSERT_TRUE(engine.Insert("held", data).ok());
+
+  ASSERT_TRUE(engine.Open("held").ok());
+  CollectionHandle first = *engine.Open("held");
+  CollectionHandle second = first;  // copies count too
+
+  Status drop = engine.DropCollection("held");
+  EXPECT_EQ(drop.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(drop.ToString().find("2 live handle"), std::string::npos)
+      << drop.ToString();
+
+  second.reset();
+  drop = engine.DropCollection("held");
+  EXPECT_EQ(drop.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(drop.ToString().find("1 live handle"), std::string::npos)
+      << drop.ToString();
+
+  // The handle stays usable while the drop is refused.
+  EXPECT_EQ(first->Stats().total_rows, 50u);
+  first.reset();
+  EXPECT_TRUE(engine.DropCollection("held").ok());
+  EXPECT_EQ(engine.Open("held").status().code(), StatusCode::kNotFound);
+}
+
+TEST(VdmsEngineTest, SnapshotPinsStateAcrossDeleteAndCompact) {
+  VdmsEngine engine;
+  auto opts = SmallOptions(400);
+  opts.index.type = IndexType::kFlat;
+  opts.system.compaction_deleted_ratio = 0.1;
+  opts.name = "pinned";
+  ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  FloatMatrix data = RandomMatrix(400, 16, 49);
+  ASSERT_TRUE(engine.Insert("pinned", data).ok());
+  ASSERT_TRUE(engine.Flush("pinned").ok());
+
+  CollectionHandle handle = *engine.Open("pinned");
+  auto before = handle->Snapshot();
+
+  // Delete half the rows; the inline compaction rewrites segments.
+  std::vector<int64_t> victims;
+  for (int64_t id = 0; id < 200; ++id) victims.push_back(id);
+  ASSERT_TRUE(engine.Delete("pinned", victims).ok());
+  ASSERT_GT(engine.GetStats("pinned")->num_compactions, 0u);
+
+  // The pinned snapshot still reads the pre-delete state: old segments are
+  // alive (shared_ptr) and row 0 is still live *in that snapshot*.
+  const auto hits = before->SearchOne(data.Row(0), 1, nullptr);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0);
+  EXPECT_EQ(before->stats.live_rows, 400u);
+
+  // A fresh read sees the post-delete state and never a tombstoned row.
+  const auto now = handle->Search(data.Row(0), 1, nullptr);
+  ASSERT_EQ(now.size(), 1u);
+  EXPECT_GE(now[0].id, 200);
 }
 
 // --------------------------------------------------- dynamic lifecycle
@@ -462,6 +626,60 @@ TEST(LifecycleTest, SearchValidatesArguments) {
   ASSERT_EQ(batch.size(), 4u);
   for (const auto& hits : batch) EXPECT_TRUE(hits.empty());
   EXPECT_TRUE(coll.SearchBatch(data, 0, nullptr)[0].empty());
+}
+
+TEST(LifecycleTest, StreamedInsertsAcrossChunkBoundaries) {
+  // Row-at-a-time ingest publishes after every insert, so the growing tier
+  // accumulates one frozen chunk per buffer flush; deletes and searches
+  // must be oblivious to the chunk boundaries.
+  const size_t n = 1000;
+  auto opts = LifecycleOptions(n);
+  opts.system.segment_max_size_mb = 2048.0;  // nothing seals
+  opts.system.seal_proportion = 1.0;
+  opts.system.insert_buf_size_mb = 2.5;  // 25-row buffer -> many chunks
+  Collection coll(opts);
+  FloatMatrix data = RandomMatrix(300, 16, 70);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE(coll.Insert(data.Slice(i, i + 1)).ok());
+  }
+  ASSERT_EQ(coll.Stats().num_sealed_segments, 0u);
+  ASSERT_GT(coll.Stats().growing_rows, 0u);
+
+  // Victims span several chunks plus the still-buffered tail.
+  const std::vector<int64_t> victims = {3, 27, 61, 130, 299};
+  size_t deleted = 0;
+  ASSERT_TRUE(coll.Delete(victims, &deleted).ok());
+  EXPECT_EQ(deleted, victims.size());
+  for (const int64_t id : victims) {
+    const auto hits = coll.Search(data.Row(id), 1, nullptr);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].id, id) << "deleted growing row " << id << " surfaced";
+  }
+  for (const int64_t id : {0, 50, 200, 298}) {
+    const auto hits = coll.Search(data.Row(id), 1, nullptr);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].id, id);
+  }
+  // Sealing concatenates the chunks; tombstones carry over.
+  ASSERT_TRUE(coll.Flush().ok());
+  EXPECT_EQ(coll.Stats().tombstoned_rows, victims.size());
+  for (const int64_t id : victims) {
+    const auto hits = coll.Search(data.Row(id), 1, nullptr);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].id, id) << "deleted row " << id << " after seal";
+  }
+}
+
+TEST(VdmsEngineTest, SingleRequestWithNullQueryIsEmptyNotUB) {
+  VdmsEngine engine;
+  auto opts = SmallOptions(50);
+  opts.name = "nullq";
+  ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  ASSERT_TRUE(engine.Insert("nullq", RandomMatrix(50, 16, 71)).ok());
+  const auto response =
+      engine.Search("nullq", SearchRequest::Single(nullptr, 16, 5));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->neighbors.empty());
 }
 
 TEST(VdmsEngineTest, DeleteAndCompactPassThrough) {
