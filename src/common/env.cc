@@ -35,4 +35,6 @@ uint64_t BenchSeed() {
   return static_cast<uint64_t>(EnvInt("VDT_SEED", 42));
 }
 
+std::string KernelEnv() { return EnvString("VDT_KERNEL", "native"); }
+
 }  // namespace vdt

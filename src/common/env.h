@@ -27,6 +27,12 @@ int64_t BenchIters(int64_t fallback);
 /// Global master seed for benches (VDT_SEED, default 42).
 uint64_t BenchSeed();
 
+/// Requested distance-kernel backend (VDT_KERNEL, default "native"):
+/// "scalar", "avx2", "neon", or "native" for the best the CPU supports.
+/// Consumed once by kernels::Active() on first use (see
+/// index/kernels/kernels.h for fallback behavior).
+std::string KernelEnv();
+
 }  // namespace vdt
 
 #endif  // VDTUNER_COMMON_ENV_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "index/kernels/kernels.h"
+
 namespace vdt {
 
 const char* MetricName(Metric metric) {
@@ -17,38 +19,11 @@ const char* MetricName(Metric metric) {
 }
 
 float DotProduct(const float* a, const float* b, size_t dim) {
-  // Four accumulators to expose instruction-level parallelism; gcc/clang
-  // auto-vectorize this loop shape well.
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < dim; ++i) acc0 += a[i] * b[i];
-  return acc0 + acc1 + acc2 + acc3;
+  return kernels::Active().dot(a, b, dim);
 }
 
 float L2SquaredDistance(const float* a, const float* b, size_t dim) {
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    acc0 += d0 * d0;
-    acc1 += d1 * d1;
-    acc2 += d2 * d2;
-    acc3 += d3 * d3;
-  }
-  for (; i < dim; ++i) {
-    const float d = a[i] - b[i];
-    acc0 += d * d;
-  }
-  return acc0 + acc1 + acc2 + acc3;
+  return kernels::Active().l2(a, b, dim);
 }
 
 float Norm(const float* a, size_t dim) {
@@ -76,6 +51,53 @@ float Distance(Metric metric, const float* a, const float* b, size_t dim) {
       return 1.0f - DotProduct(a, b, dim);
   }
   return 0.f;
+}
+
+void DotBatch(const float* query, const float* rows, size_t dim, size_t n,
+              float* out) {
+  kernels::Active().dot_batch(query, rows, dim, n, out);
+}
+
+void L2Batch(const float* query, const float* rows, size_t dim, size_t n,
+             float* out) {
+  kernels::Active().l2_batch(query, rows, dim, n, out);
+}
+
+void DistanceBatch(Metric metric, const float* query, const float* rows,
+                   size_t dim, size_t n, float* out) {
+  const kernels::Backend& backend = kernels::Active();
+  switch (metric) {
+    case Metric::kL2:
+      backend.l2_batch(query, rows, dim, n, out);
+      return;
+    case Metric::kInnerProduct:
+      backend.dot_batch(query, rows, dim, n, out);
+      for (size_t i = 0; i < n; ++i) out[i] = -out[i];
+      return;
+    case Metric::kAngular:
+      backend.dot_batch(query, rows, dim, n, out);
+      for (size_t i = 0; i < n; ++i) out[i] = 1.0f - out[i];
+      return;
+  }
+}
+
+void Sq8Batch(Metric metric, const float* query, const uint8_t* codes,
+              const float* vmin, const float* vscale, size_t dim, size_t n,
+              float* out) {
+  const kernels::Backend& backend = kernels::Active();
+  switch (metric) {
+    case Metric::kL2:
+      backend.sq8_l2_batch(query, codes, vmin, vscale, dim, n, out);
+      return;
+    case Metric::kInnerProduct:
+      backend.sq8_dot_batch(query, codes, vmin, vscale, dim, n, out);
+      for (size_t i = 0; i < n; ++i) out[i] = -out[i];
+      return;
+    case Metric::kAngular:
+      backend.sq8_dot_batch(query, codes, vmin, vscale, dim, n, out);
+      for (size_t i = 0; i < n; ++i) out[i] = 1.0f - out[i];
+      return;
+  }
 }
 
 }  // namespace vdt

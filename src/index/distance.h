@@ -1,9 +1,16 @@
-// Distance kernels. The evaluated datasets use angular distance (Table III);
-// vectors are L2-normalized at ingest so angular reduces to 1 - dot.
+// Distance entry points. The evaluated datasets use angular distance
+// (Table III); vectors are L2-normalized at ingest so angular reduces to
+// 1 - dot. Every function here routes through the active SIMD kernel
+// backend (index/kernels/kernels.h): runtime-dispatched on CPU features,
+// overridable via VDT_KERNEL=scalar|avx2|neon|native. Per-row results are
+// block-invariant — a batch call produces bit-identical values to the
+// corresponding one-row calls — so callers may block scans any way they
+// like without changing results.
 #ifndef VDTUNER_INDEX_DISTANCE_H_
 #define VDTUNER_INDEX_DISTANCE_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace vdt {
 
@@ -25,6 +32,39 @@ void NormalizeVector(float* a, size_t dim);
 
 /// Distance under `metric`; smaller is more similar for every metric.
 float Distance(Metric metric, const float* a, const float* b, size_t dim);
+
+// ------------------------------------------------------- block kernels
+// One query against n contiguous rows (`rows` holds n * dim floats),
+// filling out[0..n). These are the hot-path scan primitives: FLAT scans,
+// IVF posting lists, PQ table builds, SCANN reorder, HNSW neighbor
+// expansion, and kmeans assignment all run through them.
+
+/// Fixed row-block granularity for scans that stage distances through a
+/// stack buffer. Purely a buffering choice: per-row kernel results are
+/// block-invariant, so the block size never affects any result.
+inline constexpr size_t kDistanceScanBlock = 256;
+
+/// out[i] = dot(query, rows + i * dim).
+void DotBatch(const float* query, const float* rows, size_t dim, size_t n,
+              float* out);
+
+/// out[i] = squared L2 distance of query to rows + i * dim.
+void L2Batch(const float* query, const float* rows, size_t dim, size_t n,
+             float* out);
+
+/// out[i] = Distance(metric, query, rows + i * dim): the metric transform
+/// (negate for IP, 1 - x for angular) applied on top of the raw kernel.
+void DistanceBatch(Metric metric, const float* query, const float* rows,
+                   size_t dim, size_t n, float* out);
+
+/// SQ8-asymmetric scan: one float query against n contiguous 8-bit code
+/// rows (`codes` holds n * dim bytes; value = vmin[d] + vscale[d] *
+/// code[d], the index/sq8.h layout). Fills out[i] with the metric-
+/// transformed distance, matching what Distance() would return on the
+/// dequantized row.
+void Sq8Batch(Metric metric, const float* query, const uint8_t* codes,
+              const float* vmin, const float* vscale, size_t dim, size_t n,
+              float* out);
 
 }  // namespace vdt
 

@@ -47,6 +47,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
                                              int level,
                                              const RowFilter* filter,
                                              WorkCounters* counters) const {
+  const size_t dim = data_->dim();
   std::vector<uint8_t> visited(data_->rows(), 0);
 
   // Min-heap of frontier candidates; bounded max-heap of results.
@@ -63,16 +64,42 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
   if (RowIsLive(filter, entry)) results.Offer(entry, d0);
   visited[entry] = 1;
 
+  // Expansion scratch, reused across hops: the unvisited neighbors of one
+  // node, their rows gathered into a contiguous block, and one one-to-many
+  // scan over it. Processing order stays link order, so results (and the
+  // visited-set evolution) are identical to the per-row loop; the distance
+  // values are too, by kernel block-invariance.
+  std::vector<uint32_t> expand;
+  std::vector<float> gathered;
+  std::vector<float> expand_dist;
+
   while (!frontier.empty()) {
     const Neighbor cur = frontier.top();
     frontier.pop();
     if (results.Full() && cur.distance > results.WorstDistance()) break;
     if (counters != nullptr) ++counters->graph_hops;
 
-    for (uint32_t next : LinksAt(static_cast<uint32_t>(cur.id), level)) {
+    const std::vector<uint32_t>& links =
+        LinksAt(static_cast<uint32_t>(cur.id), level);
+    expand.clear();
+    for (uint32_t next : links) {
       if (visited[next]) continue;
       visited[next] = 1;
-      const float d = Dist(query, next, counters);
+      expand.push_back(next);
+    }
+    if (expand.empty()) continue;
+    gathered.resize(expand.size() * dim);
+    for (size_t j = 0; j < expand.size(); ++j) {
+      std::copy_n(data_->Row(expand[j]), dim, &gathered[j * dim]);
+    }
+    expand_dist.resize(expand.size());
+    DistanceBatch(metric_, query, gathered.data(), dim, expand.size(),
+                  expand_dist.data());
+    if (counters != nullptr) counters->full_distance_evals += expand.size();
+
+    for (size_t j = 0; j < expand.size(); ++j) {
+      const uint32_t next = expand[j];
+      const float d = expand_dist[j];
       if (!results.Full() || d < results.WorstDistance()) {
         // Tombstoned nodes stay on the frontier (they route the beam) but
         // never enter the results, which is the internal over-fetch: an

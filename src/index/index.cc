@@ -137,11 +137,28 @@ std::vector<Neighbor> BruteForceSearch(const FloatMatrix& data, Metric metric,
                                        const RowFilter* filter) {
   TopKCollector topk(k);
   uint64_t scanned = 0;
-  for (size_t i = 0; i < data.rows(); ++i) {
-    if (!RowIsLive(filter, static_cast<int64_t>(i))) continue;
-    topk.Offer(static_cast<int64_t>(i),
-               Distance(metric, query, data.Row(i), data.dim()));
-    ++scanned;
+  const size_t n = data.rows();
+  // Block scan over maximal live runs: contiguous live rows go through the
+  // one-to-many kernel in kDistanceScanBlock chunks; dead rows are skipped
+  // without a distance evaluation (the counters charge live rows only).
+  float dist[kDistanceScanBlock];
+  size_t i = 0;
+  while (i < n) {
+    if (!RowIsLive(filter, static_cast<int64_t>(i))) {
+      ++i;
+      continue;
+    }
+    size_t run = i + 1;
+    while (run < n && run - i < kDistanceScanBlock &&
+           RowIsLive(filter, static_cast<int64_t>(run))) {
+      ++run;
+    }
+    DistanceBatch(metric, query, data.Row(i), data.dim(), run - i, dist);
+    for (size_t j = 0; j < run - i; ++j) {
+      topk.Offer(static_cast<int64_t>(i + j), dist[j]);
+    }
+    scanned += run - i;
+    i = run;
   }
   if (counters != nullptr) counters->full_distance_evals += scanned;
   return topk.Take();

@@ -43,12 +43,13 @@ std::vector<int32_t> IvfBaseIndex::ProbeLists(const float* query, int nprobe_in,
                                               WorkCounters* counters) const {
   const size_t nlist = centroids_.rows();
   const size_t nprobe = std::min<size_t>(std::max(1, nprobe_in), nlist);
+  // The centroid table is one contiguous block: a single one-to-many scan.
+  std::vector<float> cdist(nlist);
+  L2Batch(query, centroids_.Row(0), centroids_.dim(), nlist, cdist.data());
   std::vector<std::pair<float, int32_t>> dists;
   dists.reserve(nlist);
   for (size_t c = 0; c < nlist; ++c) {
-    dists.emplace_back(
-        L2SquaredDistance(query, centroids_.Row(c), centroids_.dim()),
-        static_cast<int32_t>(c));
+    dists.emplace_back(cdist[c], static_cast<int32_t>(c));
   }
   if (counters != nullptr) counters->coarse_distance_evals += nlist;
   std::partial_sort(dists.begin(), dists.begin() + nprobe, dists.end());
@@ -64,11 +65,30 @@ std::vector<Neighbor> IvfFlatIndex::SearchFiltered(
     WorkCounters* counters, const IndexParams* knobs) const {
   TopKCollector topk(k);
   uint64_t scanned = 0;
+  // Posting lists store row ids, not row copies, so members are scattered
+  // in the segment matrix — except that insertion order makes consecutive
+  // ids common within a list. Runs of consecutive live ids scan through the
+  // one-to-many kernel; isolated rows fall back to the one-row kernel
+  // (identical values either way, by block-invariance).
+  float dist[kDistanceScanBlock];
   for (int32_t list : ProbeLists(query, EffectiveNprobe(knobs), counters)) {
-    for (int64_t id : list_ids_[list]) {
-      if (!RowIsLive(filter, id)) continue;
-      topk.Offer(id, Distance(metric_, query, data_->Row(id), data_->dim()));
-      ++scanned;
+    const auto& ids = list_ids_[list];
+    size_t j = 0;
+    while (j < ids.size()) {
+      if (!RowIsLive(filter, ids[j])) {
+        ++j;
+        continue;
+      }
+      size_t run = j + 1;
+      while (run < ids.size() && run - j < kDistanceScanBlock &&
+             ids[run] == ids[run - 1] + 1 && RowIsLive(filter, ids[run])) {
+        ++run;
+      }
+      DistanceBatch(metric_, query, data_->Row(ids[j]), data_->dim(), run - j,
+                    dist);
+      for (size_t t = 0; t < run - j; ++t) topk.Offer(ids[j + t], dist[t]);
+      scanned += run - j;
+      j = run;
     }
   }
   if (counters != nullptr) counters->full_distance_evals += scanned;
@@ -96,29 +116,29 @@ std::vector<Neighbor> IvfSq8Index::SearchFiltered(
   const size_t dim = data_->dim();
   TopKCollector topk(k);
   uint64_t scanned = 0;
+  // Each list's codes are one contiguous block (list slot j at codes +
+  // j * dim), so live slot runs scan through the SQ8 block kernel; dead
+  // slots are skipped without a distance evaluation.
+  float dist[kDistanceScanBlock];
   for (int32_t list : ProbeLists(query, EffectiveNprobe(knobs), counters)) {
     const auto& ids = list_ids_[list];
     const uint8_t* codes = list_codes_[list].data();
-    for (size_t j = 0; j < ids.size(); ++j) {
-      if (!RowIsLive(filter, ids[j])) continue;
-      // Dequantize on the fly and accumulate the metric.
-      const uint8_t* code = codes + j * dim;
-      float acc = 0.f;
-      if (metric_ == Metric::kL2) {
-        for (size_t d = 0; d < dim; ++d) {
-          const float v = vmin_[d] + vscale_[d] * code[d];
-          const float diff = query[d] - v;
-          acc += diff * diff;
-        }
-      } else {  // kInnerProduct / kAngular share the dot product core.
-        float dot = 0.f;
-        for (size_t d = 0; d < dim; ++d) {
-          dot += query[d] * (vmin_[d] + vscale_[d] * code[d]);
-        }
-        acc = metric_ == Metric::kAngular ? 1.0f - dot : -dot;
+    size_t j = 0;
+    while (j < ids.size()) {
+      if (!RowIsLive(filter, ids[j])) {
+        ++j;
+        continue;
       }
-      topk.Offer(ids[j], acc);
-      ++scanned;
+      size_t run = j + 1;
+      while (run < ids.size() && run - j < kDistanceScanBlock &&
+             RowIsLive(filter, ids[run])) {
+        ++run;
+      }
+      Sq8Batch(metric_, query, codes + j * dim, vmin_.data(), vscale_.data(),
+               dim, run - j, dist);
+      for (size_t t = 0; t < run - j; ++t) topk.Offer(ids[j + t], dist[t]);
+      scanned += run - j;
+      j = run;
     }
   }
   if (counters != nullptr) counters->code_distance_evals += scanned;
@@ -202,16 +222,18 @@ std::vector<Neighbor> IvfPqIndex::SearchFiltered(
   const size_t ksub = static_cast<size_t>(ksub_);
 
   // ADC lookup table: partial distance of each (subspace, codeword) pair.
+  // A subspace's ksub codewords are contiguous codebook rows, so each
+  // subspace is one one-to-many block scan.
   std::vector<float> table(m * ksub);
   for (size_t s = 0; s < m; ++s) {
     const float* qsub = query + s * dsub_;
-    for (size_t c = 0; c < ksub; ++c) {
-      const float* cw = codebooks_.Row(s * ksub + c);
-      if (metric_ == Metric::kL2) {
-        table[s * ksub + c] = L2SquaredDistance(qsub, cw, dsub_);
-      } else {
-        table[s * ksub + c] = -DotProduct(qsub, cw, dsub_);
-      }
+    const float* cb = codebooks_.Row(s * ksub);
+    float* row = &table[s * ksub];
+    if (metric_ == Metric::kL2) {
+      L2Batch(qsub, cb, dsub_, ksub, row);
+    } else {
+      DotBatch(qsub, cb, dsub_, ksub, row);
+      for (size_t c = 0; c < ksub; ++c) row[c] = -row[c];
     }
   }
   if (counters != nullptr) counters->table_build_flops += m * ksub * dsub_;

@@ -1,0 +1,119 @@
+// The SIMD distance-kernel subsystem: scalar reference kernels plus
+// vectorized variants (AVX2 on x86-64, NEON on aarch64) behind a runtime
+// dispatch registry. Every one-query-vs-many-rows scan in the engine —
+// FLAT scans, IVF posting lists, SCANN reorder, HNSW neighbor expansion,
+// kmeans assignment — bottoms out in these kernels, so they are the floor
+// under every QPS number the tuner ever sees.
+//
+// Determinism contract: each backend computes a row's distance with one
+// fixed accumulation scheme that depends only on (query, row, dim) — never
+// on the batch size, the row's position within a batch, or how a caller
+// blocks a scan. Consequently batch kernels are *block-invariant*: splitting
+// one n-row batch into any sequence of sub-batches produces bit-identical
+// per-row results, and `dot(a, b, dim) == dot_batch(a, b, dim, 1)` exactly.
+// Different backends use different (documented) schemes, so results are
+// bit-stable per backend per machine, and agree across backends only within
+// the tolerance bounds below.
+//
+// Tolerance policy (vs a double-precision oracle; eps = 2^-23):
+//   scalar: 4-way interleaved accumulators, products rounded individually.
+//           |err| <= ~(dim/4 + 2) * eps * sum_i |term_i|.
+//   avx2:   8-lane FMA accumulators (2-way unrolled), lanewise pairwise
+//           horizontal reduction, scalar tail. FMA rounds a*b+acc once, so
+//           individual terms can differ from scalar by one rounding each;
+//           the bound has the same ~dim * eps * sum|term| shape.
+//   neon:   4-lane FMA accumulators (2-way unrolled), vaddvq reduction;
+//           same bound shape as avx2.
+// tests/kernel_test.cc enforces |got - oracle| <= 4 * dim * eps *
+// sum|term| + dim * FLT_MIN (the additive floor covers underflow of
+// subnormal products) for every registered backend across dims 1..257.
+#ifndef VDTUNER_INDEX_KERNELS_KERNELS_H_
+#define VDTUNER_INDEX_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vdt {
+namespace kernels {
+
+/// One-to-one kernels: distance core between two dim-float vectors.
+using DotFn = float (*)(const float* a, const float* b, size_t dim);
+using L2Fn = float (*)(const float* a, const float* b, size_t dim);
+
+/// One-to-many block kernels: one query against n contiguous rows
+/// (`rows` holds n * dim floats, row i at rows + i * dim), filling
+/// out[i] with the raw kernel value for row i. Per-row results are
+/// block-invariant (see the determinism contract above).
+using DotBatchFn = void (*)(const float* query, const float* rows, size_t dim,
+                            size_t n, float* out);
+using L2BatchFn = void (*)(const float* query, const float* rows, size_t dim,
+                           size_t n, float* out);
+
+/// SQ8-asymmetric block kernels: one float query against n contiguous
+/// 8-bit-code rows (`codes` holds n * dim bytes). Codes dequantize per
+/// dimension as value = vmin[d] + vscale[d] * code[d] (the IVF_SQ8/SCANN
+/// layout from index/sq8.h); the query stays full precision.
+using Sq8L2BatchFn = void (*)(const float* query, const uint8_t* codes,
+                              const float* vmin, const float* vscale,
+                              size_t dim, size_t n, float* out);
+using Sq8DotBatchFn = void (*)(const float* query, const uint8_t* codes,
+                               const float* vmin, const float* vscale,
+                               size_t dim, size_t n, float* out);
+
+/// One kernel backend: a named, internally consistent set of kernels.
+/// All registered backends are listed by AllBackends(); the ones the
+/// current CPU can execute by AvailableBackends().
+struct Backend {
+  const char* name;          // "scalar", "avx2", "neon"
+  bool (*available)();       // runtime CPU support check
+
+  DotFn dot;
+  L2Fn l2;
+  DotBatchFn dot_batch;
+  L2BatchFn l2_batch;
+  Sq8L2BatchFn sq8_l2_batch;
+  Sq8DotBatchFn sq8_dot_batch;
+};
+
+/// The portable reference backend; always available, and the oracle the
+/// vectorized backends are tested against. Its one-to-one kernels preserve
+/// the historic 4-accumulator scheme bit-for-bit (pinned by
+/// tests/kernel_test.cc regression cases).
+const Backend& ScalarBackend();
+
+/// Compiled-in vectorized backends; null when this build has no such
+/// backend (e.g. Avx2Backend() on aarch64). A non-null pointer does not
+/// imply the running CPU supports it — check available().
+const Backend* Avx2Backend();
+const Backend* NeonBackend();
+
+/// Every backend compiled into this binary, scalar first.
+std::vector<const Backend*> AllBackends();
+
+/// The subset of AllBackends() the running CPU supports.
+std::vector<const Backend*> AvailableBackends();
+
+/// Looks a backend up by name ("scalar" / "avx2" / "neon"), or resolves
+/// "native" to the best available backend (vectorized over scalar).
+/// Returns null for unknown names and for backends the CPU cannot run.
+const Backend* ResolveBackend(const std::string& name);
+
+/// The active backend. Resolved once, on first use, from the VDT_KERNEL
+/// environment variable (scalar | avx2 | neon | native; default native —
+/// see KernelEnv() in common/env). An unavailable or unknown request logs
+/// a warning and falls back to native. The resolution is logged, and the
+/// active name is surfaced through CollectionStats::kernel_backend.
+const Backend& Active();
+
+/// Swaps the active backend by name ("native" allowed). Returns false and
+/// changes nothing when ResolveBackend() rejects the name. Intended for
+/// startup and tests (the cross-backend parity suite); must not run
+/// concurrently with searches or builds.
+bool SetActive(const std::string& name);
+
+}  // namespace kernels
+}  // namespace vdt
+
+#endif  // VDTUNER_INDEX_KERNELS_KERNELS_H_

@@ -33,15 +33,20 @@ FloatMatrix SeedPlusPlus(const FloatMatrix& train, size_t k, Rng* rng,
   std::vector<float> min_d2(n, std::numeric_limits<float>::max());
   for (size_t c = 1; c < k; ++c) {
     // Update the distance of each point to its nearest chosen centroid;
-    // fold each chunk's D^2 mass separately and merge in chunk order.
+    // fold each chunk's D^2 mass separately and merge in chunk order. Each
+    // chunk is a contiguous row block, so the update is one one-to-many
+    // kernel scan per chunk (L2 is symmetric in its float evaluation —
+    // (a-b)^2 and (b-a)^2 round identically — so swapping query/row sides
+    // is exact).
     const float* last = centroids.Row(c - 1);
     ParallelChunks(executor, n, kBuildChunk,
                    [&](size_t chunk, size_t begin, size_t end) {
+                     std::vector<float> d2(end - begin);
+                     L2Batch(last, train.Row(begin), dim, end - begin,
+                             d2.data());
                      double mass = 0.0;
                      for (size_t i = begin; i < end; ++i) {
-                       const float d2 =
-                           L2SquaredDistance(train.Row(i), last, dim);
-                       min_d2[i] = std::min(min_d2[i], d2);
+                       min_d2[i] = std::min(min_d2[i], d2[i - begin]);
                        mass += min_d2[i];
                      }
                      chunk_mass[chunk] = mass;
@@ -69,15 +74,36 @@ FloatMatrix SeedPlusPlus(const FloatMatrix& train, size_t k, Rng* rng,
   return centroids;
 }
 
+/// Argmin over a precomputed centroid-distance buffer; first index wins
+/// ties, matching the historic sequential comparison loop exactly.
+int32_t ArgminDistance(const float* dist, size_t k) {
+  int32_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < k; ++c) {
+    if (dist[c] < best_d) {
+      best_d = dist[c];
+      best = static_cast<int32_t>(c);
+    }
+  }
+  return best;
+}
+
 /// Nearest-centroid assignment for rows [0, n) of `data`, chunked across
-/// `executor`. Each point's assignment is independent, so this is trivially
-/// bit-identical to the sequential loop.
+/// `executor`. The centroid table is contiguous, so each point is one
+/// one-to-many kernel scan into a per-chunk buffer. Each point's assignment
+/// is independent, so this is trivially bit-identical to the sequential
+/// loop.
 void AssignAll(const FloatMatrix& centroids, const FloatMatrix& data,
                ParallelExecutor* executor, std::vector<int32_t>* assign) {
+  const size_t k = centroids.rows();
+  const size_t dim = centroids.dim();
   ParallelChunks(executor, data.rows(), kBuildChunk,
                  [&](size_t, size_t begin, size_t end) {
+                   std::vector<float> dist(k);
                    for (size_t i = begin; i < end; ++i) {
-                     (*assign)[i] = NearestCentroid(centroids, data.Row(i));
+                     L2Batch(data.Row(i), centroids.Row(0), dim, k,
+                             dist.data());
+                     (*assign)[i] = ArgminDistance(dist.data(), k);
                    }
                  });
 }
@@ -85,16 +111,9 @@ void AssignAll(const FloatMatrix& centroids, const FloatMatrix& data,
 }  // namespace
 
 int32_t NearestCentroid(const FloatMatrix& centroids, const float* x) {
-  int32_t best = 0;
-  float best_d = std::numeric_limits<float>::max();
-  for (size_t c = 0; c < centroids.rows(); ++c) {
-    const float d = L2SquaredDistance(centroids.Row(c), x, centroids.dim());
-    if (d < best_d) {
-      best_d = d;
-      best = static_cast<int32_t>(c);
-    }
-  }
-  return best;
+  std::vector<float> dist(centroids.rows());
+  L2Batch(x, centroids.Row(0), centroids.dim(), centroids.rows(), dist.data());
+  return ArgminDistance(dist.data(), centroids.rows());
 }
 
 KMeansResult KMeansCluster(const FloatMatrix& data, size_t k,

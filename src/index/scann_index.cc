@@ -47,58 +47,65 @@ std::vector<Neighbor> ScannIndex::SearchFiltered(
   const int nprobe_knob = knobs != nullptr ? knobs->nprobe : params_.nprobe;
   const size_t nprobe = std::min<size_t>(std::max(1, nprobe_knob), nlist);
 
-  // Coarse probe.
+  // Coarse probe: the centroid table is one contiguous block scan.
+  std::vector<float> cdist(nlist);
+  L2Batch(query, centroids_.Row(0), dim, nlist, cdist.data());
   std::vector<std::pair<float, int32_t>> cd;
   cd.reserve(nlist);
   for (size_t c = 0; c < nlist; ++c) {
-    cd.emplace_back(L2SquaredDistance(query, centroids_.Row(c), dim),
-                    static_cast<int32_t>(c));
+    cd.emplace_back(cdist[c], static_cast<int32_t>(c));
   }
   if (counters != nullptr) counters->coarse_distance_evals += nlist;
   std::partial_sort(cd.begin(), cd.begin() + nprobe, cd.end());
 
-  // Approximate scoring pass over quantized codes.
+  // Approximate scoring pass: live slot runs of each list's contiguous
+  // code block through the SQ8 block kernel.
   const int reorder_knob =
       knobs != nullptr ? knobs->reorder_k : params_.reorder_k;
   const size_t reorder_k =
       std::max<size_t>(k, static_cast<size_t>(std::max(1, reorder_knob)));
   TopKCollector approx(reorder_k);
   uint64_t scanned = 0;
+  float dist[kDistanceScanBlock];
   for (size_t p = 0; p < nprobe; ++p) {
     const int32_t list = cd[p].second;
     const auto& ids = list_ids_[list];
     const uint8_t* codes = list_codes_[list].data();
-    for (size_t j = 0; j < ids.size(); ++j) {
-      if (!RowIsLive(filter, ids[j])) continue;
-      const uint8_t* code = codes + j * dim;
-      float score;
-      if (metric_ == Metric::kL2) {
-        float acc = 0.f;
-        for (size_t d = 0; d < dim; ++d) {
-          const float v = vmin_[d] + vscale_[d] * code[d];
-          const float diff = query[d] - v;
-          acc += diff * diff;
-        }
-        score = acc;
-      } else {
-        float dot = 0.f;
-        for (size_t d = 0; d < dim; ++d) {
-          dot += query[d] * (vmin_[d] + vscale_[d] * code[d]);
-        }
-        score = metric_ == Metric::kAngular ? 1.0f - dot : -dot;
+    size_t j = 0;
+    while (j < ids.size()) {
+      if (!RowIsLive(filter, ids[j])) {
+        ++j;
+        continue;
       }
-      approx.Offer(ids[j], score);
-      ++scanned;
+      size_t run = j + 1;
+      while (run < ids.size() && run - j < kDistanceScanBlock &&
+             RowIsLive(filter, ids[run])) {
+        ++run;
+      }
+      Sq8Batch(metric_, query, codes + j * dim, vmin_.data(), vscale_.data(),
+               dim, run - j, dist);
+      for (size_t t = 0; t < run - j; ++t) approx.Offer(ids[j + t], dist[t]);
+      scanned += run - j;
+      j = run;
     }
   }
   if (counters != nullptr) counters->code_distance_evals += scanned;
 
-  // Exact re-ranking of the surviving candidates.
+  // Exact re-ranking of the surviving candidates: candidate rows are
+  // scattered, so gather them into one contiguous block and run a single
+  // one-to-many scan (the gather is a straight memcpy; the scan is where
+  // the flops are).
   std::vector<Neighbor> candidates = approx.Take();
   TopKCollector exact(k);
-  for (const Neighbor& cand : candidates) {
-    exact.Offer(cand.id,
-                Distance(metric_, query, data_->Row(cand.id), dim));
+  std::vector<float> gathered(candidates.size() * dim);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    std::copy_n(data_->Row(candidates[i].id), dim, &gathered[i * dim]);
+  }
+  std::vector<float> exact_dist(candidates.size());
+  DistanceBatch(metric_, query, gathered.data(), dim, candidates.size(),
+                exact_dist.data());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    exact.Offer(candidates[i].id, exact_dist[i]);
   }
   if (counters != nullptr) {
     counters->reorder_evals += candidates.size();

@@ -45,6 +45,11 @@ struct CollectionStats {
   size_t index_bytes_actual = 0;  // sum of index structures (actual scale)
   double data_mb_paper_scale = 0.0;
   double index_mb_paper_scale = 0.0;
+
+  /// Name of the SIMD distance-kernel backend that served this snapshot
+  /// ("scalar" / "avx2" / "neon" — see index/kernels/kernels.h). Static
+  /// string, valid for the process lifetime.
+  const char* kernel_backend = "";
 };
 
 /// A top-k search over a collection: one request, any number of queries.

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_executor.h"
+#include "index/kernels/kernels.h"
 #include "index/topk.h"
 
 namespace vdt {
@@ -348,6 +349,7 @@ CollectionStats Collection::Stats() const { return Snapshot()->stats; }
 
 CollectionStats Collection::ComputeStatsLocked() const {
   CollectionStats s;
+  s.kernel_backend = kernels::Active().name;
   s.total_rows = static_cast<size_t>(next_id_);
   s.num_compactions = compactions_;
   s.num_sealed_segments = sealed_.size();
