@@ -1,6 +1,6 @@
 // Figure 11: parameter trajectories during tuning (Geo-radius). Prints the
-// normalized values of nlist, nprobe, segment_sealProportion, and
-// gracefulTime for each recommended configuration, plus a windowed
+// normalized values of nlist, nprobe, segment_sealProportion, gracefulTime,
+// and numShards for each recommended configuration, plus a windowed
 // fluctuation statistic showing exploration -> exploitation convergence.
 #include "bench/bench_common.h"
 
@@ -18,9 +18,9 @@ void Run() {
 
   Banner("Figure 11: normalized parameter values per iteration (geo-radius)");
   const size_t dims[] = {kDimNlist, kDimNprobe, kDimSealProportion,
-                         kDimGracefulTime};
+                         kDimGracefulTime, kDimNumShards};
   TablePrinter table({"iteration", "nlist", "nprobe",
-                      "segment_sealProportion", "gracefulTime"});
+                      "segment_sealProportion", "gracefulTime", "numShards"});
   const auto& history = tuner.history();
   for (size_t i = 0; i < history.size();
        i += std::max<size_t>(1, history.size() / 20)) {

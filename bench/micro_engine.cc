@@ -12,12 +12,20 @@
 // BM_EngineSearch_Snapshot and BM_EngineSearch_Serialized at equal thread
 // counts. A second pair measures search throughput while a writer thread
 // continuously deletes and compacts — the serialized path stalls behind the
-// writer's lock hold times; the snapshot path does not.
+// writer's lock hold times; the snapshot path does not. A final sweep
+// (BM_EngineSearchShardSweep) measures QPS and p99 latency vs the
+// collection's shard count at a fixed client-thread budget.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "vdms/vdms.h"
 #include "workload/datasets.h"
@@ -31,7 +39,7 @@ constexpr size_t kDim = 48;
 constexpr size_t kQueries = 64;
 constexpr size_t kK = 10;
 
-CollectionOptions BenchOptions(const std::string& name) {
+CollectionOptions BenchOptions(const std::string& name, int num_shards = 1) {
   CollectionOptions opts;
   opts.name = name;
   opts.metric = Metric::kAngular;
@@ -41,17 +49,18 @@ CollectionOptions BenchOptions(const std::string& name) {
   opts.scale.dataset_mb = 472.0;
   opts.scale.actual_rows = kRows;
   opts.system.compaction_deleted_ratio = 0.2;
+  opts.system.num_shards = num_shards;
   return opts;
 }
 
-/// One engine per read-path variant, stood up once and shared across every
-/// thread count of the sweep.
+/// One engine per read-path variant (and shard count), stood up once and
+/// shared across every thread count of the sweep.
 struct EngineFixture {
-  explicit EngineFixture(bool serialize_reads)
+  explicit EngineFixture(bool serialize_reads, int num_shards = 1)
       : engine(VdmsEngineOptions{serialize_reads}),
         data(GenerateDataset(DatasetProfile::kGlove, kRows, kDim, 7)),
         queries(GenerateQueries(DatasetProfile::kGlove, kQueries, kDim, 11)) {
-    engine.CreateCollection(BenchOptions("bench"));
+    engine.CreateCollection(BenchOptions("bench", num_shards));
     engine.Insert("bench", data);
     engine.Flush("bench");
   }
@@ -167,6 +176,63 @@ void BM_EngineSearchDuringChurn_Serialized(benchmark::State& state) {
 
 BENCHMARK(BM_EngineSearchDuringChurn_Snapshot)->Threads(4)->UseRealTime();
 BENCHMARK(BM_EngineSearchDuringChurn_Serialized)->Threads(4)->UseRealTime();
+
+/// One fixture per shard count of the sweep, stood up on first use.
+EngineFixture& ShardSweep(int num_shards) {
+  static std::mutex mu;
+  static std::map<int, std::unique_ptr<EngineFixture>>* fixtures =
+      new std::map<int, std::unique_ptr<EngineFixture>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& fixture = (*fixtures)[num_shards];
+  if (fixture == nullptr) {
+    fixture = std::make_unique<EngineFixture>(/*serialize_reads=*/false,
+                                              num_shards);
+  }
+  return *fixture;
+}
+
+/// Shard sweep at a fixed client budget: QPS (items_per_second) and tail
+/// latency vs num_shards. The scatter turns one query into one task per
+/// shard, so more shards buy intra-query parallelism (lower p99) until the
+/// per-shard work no longer amortizes the fan-out overhead — the trade-off
+/// that makes num_shards worth a tuning dimension. p99_us averages the
+/// per-client-thread 99th-percentile search latency.
+void BM_EngineSearchShardSweep(benchmark::State& state) {
+  EngineFixture& fixture = ShardSweep(static_cast<int>(state.range(0)));
+  std::vector<double> latencies_us;
+  size_t q = static_cast<size_t>(state.thread_index()) * 7;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto response = fixture.engine.Search(
+        "bench",
+        SearchRequest::Single(fixture.queries.Row(q++ % kQueries), kDim, kK));
+    const auto stop = std::chrono::steady_clock::now();
+    if (!response.ok() || response->top().size() != kK) {
+      state.SkipWithError("engine search failed");
+      return;
+    }
+    benchmark::DoNotOptimize(response->top().front().id);
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const double p99 =
+        latencies_us[static_cast<size_t>(
+            static_cast<double>(latencies_us.size() - 1) * 0.99)];
+    state.counters["p99_us"] =
+        benchmark::Counter(p99, benchmark::Counter::kAvgThreads);
+  }
+}
+
+BENCHMARK(BM_EngineSearchShardSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Threads(4)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace vdt

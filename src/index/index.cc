@@ -46,6 +46,8 @@ void WorkCounters::Add(const WorkCounters& other) {
   table_build_flops += other.table_build_flops;
   graph_hops += other.graph_hops;
   reorder_evals += other.reorder_evals;
+  shard_scatters += other.shard_scatters;
+  gather_candidates += other.gather_candidates;
 }
 
 uint64_t WorkCounters::Total() const {

@@ -73,6 +73,10 @@ struct IndexParams {
 ///  - graph_hops: one beam-search node expansion each (heap + visited set).
 ///  - reorder_evals: informational; the exact distances it triggers are
 ///    already counted in full_distance_evals.
+///  - shard_scatters / gather_candidates: scatter/gather bookkeeping (one
+///    per-shard top-k search fanned out / one neighbor offered to a
+///    cross-shard merge). Routing accounting, not charged work: the cost
+///    model reads the named work fields and Total() excludes these two.
 struct WorkCounters {
   uint64_t full_distance_evals = 0;
   uint64_t coarse_distance_evals = 0;
@@ -81,8 +85,11 @@ struct WorkCounters {
   uint64_t table_build_flops = 0;
   uint64_t graph_hops = 0;
   uint64_t reorder_evals = 0;
+  uint64_t shard_scatters = 0;
+  uint64_t gather_candidates = 0;
 
   void Add(const WorkCounters& other);
+  /// Charged work only (scatter/gather bookkeeping excluded).
   uint64_t Total() const;
 };
 

@@ -94,9 +94,10 @@ std::vector<Neighbor> ScannIndex::SearchFiltered(
   // Exact re-ranking of the surviving candidates: candidate rows are
   // scattered, so gather them into one contiguous block and run a single
   // one-to-many scan (the gather is a straight memcpy; the scan is where
-  // the flops are).
+  // the flops are). The rescored list reduces to top-k through MergeTopK,
+  // the same deterministic (distance, id)-ordered reduce the scatter/gather
+  // search path uses.
   std::vector<Neighbor> candidates = approx.Take();
-  TopKCollector exact(k);
   std::vector<float> gathered(candidates.size() * dim);
   for (size_t i = 0; i < candidates.size(); ++i) {
     std::copy_n(data_->Row(candidates[i].id), dim, &gathered[i * dim]);
@@ -104,14 +105,16 @@ std::vector<Neighbor> ScannIndex::SearchFiltered(
   std::vector<float> exact_dist(candidates.size());
   DistanceBatch(metric_, query, gathered.data(), dim, candidates.size(),
                 exact_dist.data());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    exact.Offer(candidates[i].id, exact_dist[i]);
-  }
   if (counters != nullptr) {
     counters->reorder_evals += candidates.size();
     counters->full_distance_evals += candidates.size();
   }
-  return exact.Take();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i].distance = exact_dist[i];
+  }
+  std::vector<std::vector<Neighbor>> rescored;
+  rescored.push_back(std::move(candidates));
+  return MergeTopK(std::move(rescored), k);
 }
 
 size_t ScannIndex::MemoryBytes() const {

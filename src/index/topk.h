@@ -1,9 +1,11 @@
-// Bounded top-k collection via a max-heap keyed on distance.
+// Bounded top-k collection via a max-heap keyed on distance, and the
+// deterministic k-way merge behind every scatter/gather reduce.
 #ifndef VDTUNER_INDEX_TOPK_H_
 #define VDTUNER_INDEX_TOPK_H_
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "index/index.h"
@@ -51,6 +53,46 @@ class TopKCollector {
   size_t k_;
   std::vector<Neighbor> heap_;
 };
+
+/// K-way merge of per-source top-k candidate lists into one global top-k,
+/// ordered by (distance, id) — the gather half of every scatter/gather
+/// search (per-shard result lists, SearchBatch aggregation, SCANN's exact
+/// reorder). The (distance, id) total order makes the output independent of
+/// list order, list count, and thread scheduling: splitting one candidate
+/// set across any number of source lists produces the same merged top-k.
+/// Input lists need not be sorted. A row id surfacing in more than one list
+/// is kept once, at its best (smallest) distance; empty lists are free.
+inline std::vector<Neighbor> MergeTopK(std::vector<std::vector<Neighbor>> lists,
+                                       size_t k) {
+  std::vector<Neighbor> all;
+  size_t total = 0;
+  for (const auto& list : lists) total += list.size();
+  all.reserve(total);
+  for (auto& list : lists) {
+    all.insert(all.end(), list.begin(), list.end());
+    list.clear();
+  }
+  // Dedup pass: group by id (best distance first within a group), keep the
+  // group head. Ids are unique in the common case (disjoint shards), so
+  // this is one sort + one linear sweep over S*k candidates.
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.id < b.id || (a.id == b.id && a.distance < b.distance);
+  });
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](const Neighbor& a, const Neighbor& b) {
+                          return a.id == b.id;
+                        }),
+            all.end());
+  // Final order: distance ascending, id-ordered tie-breaking (operator<).
+  if (all.size() > k) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(k),
+                      all.end());
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end());
+  }
+  return all;
+}
 
 }  // namespace vdt
 

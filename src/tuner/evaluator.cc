@@ -30,7 +30,8 @@ std::string VdmsEvaluator::CacheKey(const TuningConfig& config) const {
   os << config.system.segment_max_size_mb << "|"
      << config.system.seal_proportion << "|"
      << config.system.insert_buf_size_mb << "|"
-     << config.system.build_index_threshold;
+     << config.system.build_index_threshold << "|"
+     << config.system.num_shards;
   return os.str();
 }
 

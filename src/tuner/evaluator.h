@@ -46,8 +46,9 @@ struct VdmsEvaluatorOptions {
   DatasetProfile profile = DatasetProfile::kGlove;
   ReplayOptions replay;
   uint64_t seed = 13;
-  /// Built collections cached across evaluations (keyed by segment layout +
-  /// index build signature). 0 disables caching.
+  /// Built collections cached across evaluations (keyed by segment layout —
+  /// including the shard count — + index build signature). 0 disables
+  /// caching.
   size_t cache_capacity = 24;
   /// Worker threads for the batched query evaluation inside each replay:
   /// 0 leaves the replay options untouched (process-wide ParallelExecutor

@@ -39,7 +39,10 @@ Status SaveKnowledgeBase(const std::string& path,
 /// before the compaction-ratio dimension) migrate on load: each record's
 /// missing trailing coordinate is padded with its encoded default. v2
 /// files record their dimension count in the header, so a truncated line
-/// is always a loud error, never a silent pad.
+/// is always a loud error, never a silent pad — while a v2 file written
+/// at fewer dimensions than the current space (e.g. 17 dims, before the
+/// num_shards dimension was appended) migrates the same way, padding each
+/// appended dimension with its encoded default.
 Result<std::vector<Observation>> LoadKnowledgeBase(const std::string& path,
                                                    const ParamSpace& space);
 

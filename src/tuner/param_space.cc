@@ -49,6 +49,10 @@ ParamSpace::ParamSpace(bool dynamic_workload)
   // tuner can turn the pass off entirely for delete-free workloads.
   defs_[kDimCompactionRatio] = {"compactionDeletedRatio", ParamScale::kLinear,
                                 0.05, 1.0, false, 0.2};
+  // Log-scaled: the interesting structure is at small shard counts (1 -> 2
+  // halves per-shard segment sizes; 8 -> 16 barely moves them). Default 1 =
+  // the unsharded single-chain layout.
+  defs_[kDimNumShards] = {"numShards", ParamScale::kLog, 1, 16, true, 1};
 }
 
 double ParamSpace::EncodeValue(size_t dim, double value) const {
@@ -115,6 +119,7 @@ std::vector<double> ParamSpace::Encode(const TuningConfig& config) const {
   x[kDimCacheRatio] = EncodeValue(kDimCacheRatio, config.system.cache_ratio);
   x[kDimCompactionRatio] = EncodeValue(
       kDimCompactionRatio, config.system.compaction_deleted_ratio);
+  x[kDimNumShards] = EncodeValue(kDimNumShards, config.system.num_shards);
   return x;
 }
 
@@ -147,6 +152,8 @@ TuningConfig ParamSpace::Decode(const std::vector<double>& x) const {
   c.system.cache_ratio = DecodeValue(kDimCacheRatio, x[kDimCacheRatio]);
   c.system.compaction_deleted_ratio =
       DecodeValue(kDimCompactionRatio, x[kDimCompactionRatio]);
+  c.system.num_shards =
+      static_cast<int>(DecodeValue(kDimNumShards, x[kDimNumShards]));
   return c;
 }
 

@@ -1,7 +1,8 @@
 // The holistic configuration space of §V-A: one categorical index-type
 // dimension, 8 index parameters (Table I), and the system parameters — the
 // paper's 7 plus this tree's compaction trigger ratio (dynamic-data
-// extension), 17 dimensions total. Encodes/decodes between typed
+// extension) and shard count (scatter/gather serving extension), 18
+// dimensions total. Encodes/decodes between typed
 // configurations and [0,1]^dims vectors (the GP's input space), and exposes
 // the per-index-type active subspaces VDTuner's polling acquisition needs.
 #ifndef VDTUNER_TUNER_PARAM_SPACE_H_
@@ -57,7 +58,13 @@ enum ParamIndex : size_t {
   kDimBuildIndexThreshold,
   kDimCacheRatio,
   kDimCompactionRatio,
-  kNumParamDims,  // == 17
+  /// Shard count (layout-affecting: the collection is rebuilt when it
+  /// changes; the evaluator's build cache keys on it). Appended after
+  /// kDimCompactionRatio — dimensions are append-only so v2 knowledge
+  /// bases recorded at 17 dims keep loading (missing trailing coordinates
+  /// pad with the encoded default, num_shards = 1).
+  kDimNumShards,
+  kNumParamDims,  // == 18
 };
 
 /// The holistic space (paper §IV-A).

@@ -27,6 +27,16 @@ namespace vdt {
 /// thread-safe — it runs concurrently across queries and segments.
 using IdFilter = std::function<bool(int64_t)>;
 
+/// Row/tombstone balance of one shard — each shard is an independent segment
+/// chain and the id-hash router should spread rows near-uniformly; skew here
+/// means the scatter's slowest shard bounds latency.
+struct ShardStats {
+  size_t stored_rows = 0;      // live + tombstoned rows in this shard
+  size_t live_rows = 0;
+  size_t tombstoned_rows = 0;  // stored - live
+  size_t sealed_segments = 0;
+};
+
 /// Aggregate statistics used by the cost model and the memory model. When
 /// obtained through the engine (GetStats, SearchResponse::stats) the counts
 /// are snapshot-consistent: they describe one published collection state, so
@@ -50,6 +60,11 @@ struct CollectionStats {
   /// ("scalar" / "avx2" / "neon" — see index/kernels/kernels.h). Static
   /// string, valid for the process lifetime.
   const char* kernel_backend = "";
+
+  /// Sharding layout: shards.size() == num_shards, and the per-shard
+  /// stored/live/tombstoned counts sum to the collection-level fields above.
+  size_t num_shards = 1;
+  std::vector<ShardStats> shards;
 };
 
 /// A top-k search over a collection: one request, any number of queries.
@@ -75,6 +90,10 @@ struct SearchRequest {
   /// honors exactly the fields its UpdateSearchParams() would: IVF family
   /// reads nprobe, HNSW reads ef, SCANN reads nprobe + reorder_k, FLAT and
   /// AUTOINDEX ignore overrides. Unset = the collection's current knobs.
+  /// On a sharded collection the override is resolved once per request and
+  /// the same effective knobs are applied to every shard of the scatter
+  /// (debug builds assert this), so results never depend on which shard a
+  /// row hashed to. Unset = the collection's current knobs on every shard.
   std::optional<IndexParams> params;
 
   /// One-query convenience: wraps `query` (dim floats, copied) with `k`.

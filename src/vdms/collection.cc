@@ -27,6 +27,34 @@ std::shared_ptr<TombstoneOverlay> CloneOverlay(
   return clone;
 }
 
+/// SplitMix64 finalizer: the stable id hash behind shard routing. Chosen
+/// because consecutive ids (the common insert pattern) spread uniformly —
+/// a modulo of the raw id would stripe rows and correlate shard balance
+/// with insertion order.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Largest shard count a collection accepts; the tuner's search space tops
+/// out at 16, the extra headroom is for direct API users.
+constexpr int kMaxShards = 64;
+
+/// Per-shard salt folded into seal seeds: keeps equal-shaped shards from
+/// building identical k-means draws while leaving shard 0 (and therefore
+/// the num_shards == 1 configuration) on the exact pre-sharding seed
+/// sequence.
+constexpr uint64_t kShardSeedSalt = 1000003;
+
+/// Binary search for `id` in an ascending id vector; -1 when absent.
+int64_t FindId(const std::vector<int64_t>& ids, int64_t id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) return -1;
+  return static_cast<int64_t>(it - ids.begin());
+}
+
 }  // namespace
 
 size_t ScaleModel::RowsForMb(double mb) const {
@@ -45,7 +73,19 @@ double ScaleModel::MbForRows(size_t rows) const {
 
 Collection::Collection(CollectionOptions options)
     : options_(std::move(options)) {
+  // The shard count is layout-defining and fixed for the collection's
+  // lifetime; normalize the stored option so options().system reflects the
+  // clamp.
+  const int shards = std::clamp(options_.system.num_shards, 1, kMaxShards);
+  options_.system.num_shards = shards;
+  shards_.resize(static_cast<size_t>(shards));
   Publish();  // never leave snapshot_ null: readers may arrive immediately
+}
+
+size_t Collection::ShardOf(int64_t id) const {
+  if (shards_.size() <= 1) return 0;
+  return static_cast<size_t>(SplitMix64(static_cast<uint64_t>(id)) %
+                             shards_.size());
 }
 
 size_t Collection::SealRows() const {
@@ -72,7 +112,7 @@ Status Collection::InsertLocked(const FloatMatrix& rows) {
   if (rows.empty()) return Status::OK();
   if (dim_ == 0) {
     dim_ = rows.dim();
-    buffer_ = FloatMatrix(0, dim_);
+    for (ShardState& shard : shards_) shard.buffer = FloatMatrix(0, dim_);
   }
   if (rows.dim() != dim_) {
     return Status::InvalidArgument("dimension mismatch on insert");
@@ -82,80 +122,98 @@ Status Collection::InsertLocked(const FloatMatrix& rows) {
   const size_t seal_rows = SealRows();
 
   for (size_t i = 0; i < rows.rows(); ++i) {
-    buffer_.AppendRow(rows.Row(i), dim_);
-    buffer_tombstones_.push_back(0);
-    ++next_id_;
-    if (buffer_.rows() >= buffer_cap) {
-      FlushBufferIntoGrowing();
-      if (growing_rows_ >= seal_rows) {
-        VDT_RETURN_IF_ERROR(SealGrowing());
+    const int64_t id = next_id_++;
+    const size_t s = ShardOf(id);
+    ShardState& shard = shards_[s];
+    shard.buffer.AppendRow(rows.Row(i), dim_);
+    shard.buffer_ids.push_back(id);
+    shard.buffer_tombstones.push_back(0);
+    if (shard.buffer.rows() >= buffer_cap) {
+      FlushBufferIntoGrowing(shard);
+      if (shard.growing_rows >= seal_rows) {
+        VDT_RETURN_IF_ERROR(SealShardGrowing(s));
       }
     }
   }
   return Status::OK();
 }
 
-void Collection::FlushBufferIntoGrowing() {
-  if (buffer_.rows() == 0) return;
-  if (growing_chunks_.empty()) growing_base_ = buffer_base_;
-  const size_t old_rows = growing_rows_;
-  growing_rows_ += buffer_.rows();
+void Collection::FlushBufferIntoGrowing(ShardState& shard) {
+  if (shard.buffer.rows() == 0) return;
+  const size_t old_rows = shard.growing_rows;
+  shard.growing_rows += shard.buffer.rows();
 
   // Merge tombstones: deletes may have landed on the old growing rows or on
   // buffered rows before this flush. Overlay bits always span every row.
-  const size_t carried =
-      growing_tombstones_ != nullptr ? growing_tombstones_->deleted : 0;
-  if (carried + buffer_deleted_ > 0) {
-    auto merged = CloneOverlay(growing_tombstones_, growing_rows_);
-    for (size_t j = 0; j < buffer_.rows(); ++j) {
-      if (buffer_tombstones_[j] != 0) {
+  const size_t carried = shard.growing_tombstones != nullptr
+                             ? shard.growing_tombstones->deleted
+                             : 0;
+  if (carried + shard.buffer_deleted > 0) {
+    auto merged = CloneOverlay(shard.growing_tombstones, shard.growing_rows);
+    for (size_t j = 0; j < shard.buffer.rows(); ++j) {
+      if (shard.buffer_tombstones[j] != 0) {
         merged->bits[old_rows + j] = 1;
         ++merged->deleted;
       }
     }
-    growing_tombstones_ = std::move(merged);
+    shard.growing_tombstones = std::move(merged);
   }
 
-  // The buffer matrix becomes a frozen chunk, shared with every snapshot
-  // published from here on — no growing rows are ever re-copied.
-  growing_chunks_.push_back(
-      std::make_shared<const FloatMatrix>(std::move(buffer_)));
-  buffer_ = FloatMatrix(0, dim_);
-  buffer_tombstones_.clear();
-  buffer_deleted_ = 0;
-  buffer_base_ = next_id_;
+  // The buffer matrix (and its id map) becomes a frozen chunk, shared with
+  // every snapshot published from here on — no growing rows are ever
+  // re-copied.
+  shard.growing_chunks.push_back(
+      std::make_shared<const FloatMatrix>(std::move(shard.buffer)));
+  shard.growing_chunk_ids.push_back(
+      std::make_shared<const std::vector<int64_t>>(
+          std::move(shard.buffer_ids)));
+  shard.buffer = FloatMatrix(0, dim_);
+  shard.buffer_ids.clear();
+  shard.buffer_tombstones.clear();
+  shard.buffer_deleted = 0;
 }
 
-Status Collection::SealGrowing() {
-  if (growing_chunks_.empty()) return Status::OK();
-  // Concatenate the chunks into one segment (invisible until Publish, so it
-  // can be built in place) and build its index through the normal path.
-  auto segment = std::make_shared<Segment>(growing_base_, dim_);
-  for (const auto& chunk : growing_chunks_) {
-    for (size_t r = 0; r < chunk->rows(); ++r) {
-      segment->Append(chunk->Row(r), dim_);
+Status Collection::SealShardGrowing(size_t shard_index) {
+  ShardState& shard = shards_[shard_index];
+  if (shard.growing_chunks.empty()) return Status::OK();
+  // Concatenate the chunks into one segment under an explicit id map (hash
+  // routing makes a shard's ids non-contiguous; with one shard the map is
+  // the contiguous range and changes nothing). The segment is invisible
+  // until Publish, so it can be built in place.
+  auto segment = std::make_shared<Segment>(
+      shard.growing_chunk_ids.front()->front(), dim_);
+  for (size_t c = 0; c < shard.growing_chunks.size(); ++c) {
+    const FloatMatrix& chunk = *shard.growing_chunks[c];
+    const std::vector<int64_t>& ids = *shard.growing_chunk_ids[c];
+    for (size_t r = 0; r < chunk.rows(); ++r) {
+      segment->AppendWithId(chunk.Row(r), dim_, ids[r]);
     }
   }
-  Status st = segment->Seal(options_.index.type, options_.metric,
-                            options_.index.params,
-                            options_.system.build_index_threshold,
-                            options_.seed + sealed_.size() * 31 + 1);
+  Status st = segment->Seal(
+      options_.index.type, options_.metric, options_.index.params,
+      options_.system.build_index_threshold,
+      options_.seed + kShardSeedSalt * shard_index +
+          shard.sealed.size() * 31 + 1);
   if (!st.ok()) return st;
-  sealed_.push_back(SegmentView{std::move(segment), growing_tombstones_});
-  growing_chunks_.clear();
-  growing_rows_ = 0;
-  growing_tombstones_.reset();
+  shard.sealed.push_back(
+      SegmentView{std::move(segment), shard.growing_tombstones});
+  shard.growing_chunks.clear();
+  shard.growing_chunk_ids.clear();
+  shard.growing_rows = 0;
+  shard.growing_tombstones.reset();
   return Status::OK();
 }
 
 Status Collection::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   Status st = Status::OK();
-  if (buffer_.rows() > 0) {
-    FlushBufferIntoGrowing();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].buffer.rows() > 0) {
+      FlushBufferIntoGrowing(shards_[s]);
+    }
+    const Status shard_st = SealShardGrowing(s);
+    if (!shard_st.ok() && st.ok()) st = shard_st;
   }
-  st = SealGrowing();
-  buffer_base_ = next_id_;
   Publish();
   return st;
 }
@@ -165,56 +223,77 @@ Status Collection::Delete(const std::vector<int64_t>& ids, size_t* deleted) {
   size_t count = 0;
   // Copy-on-write clones, committed after routing so in-flight readers keep
   // the pre-delete bitmaps; cloned at most once per segment per call.
-  std::vector<std::shared_ptr<TombstoneOverlay>> sealed_clones(sealed_.size());
-  std::shared_ptr<TombstoneOverlay> growing_clone;
+  std::vector<std::vector<std::shared_ptr<TombstoneOverlay>>> sealed_clones(
+      shards_.size());
+  std::vector<std::shared_ptr<TombstoneOverlay>> growing_clones(
+      shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    sealed_clones[s].resize(shards_[s].sealed.size());
+  }
 
   for (const int64_t id : ids) {
     if (id < 0 || id >= next_id_) continue;  // unknown id: ignore
-    // Route newest-first: recently inserted rows live in the buffer or the
-    // growing segment; older ones in a sealed segment.
-    if (id >= buffer_base_) {
-      const size_t local = static_cast<size_t>(id - buffer_base_);
-      if (local < buffer_tombstones_.size() &&
-          buffer_tombstones_[local] == 0) {
-        buffer_tombstones_[local] = 1;
-        ++buffer_deleted_;
+    // Route by the id hash to the row's home shard, then newest-first
+    // within it: recently inserted rows live in the buffer or the growing
+    // chunks; older ones in a sealed segment. Per-shard id sequences are
+    // ascending (rows arrive in global insertion order), so binary search
+    // addresses buffer and chunk rows.
+    const size_t s = ShardOf(id);
+    ShardState& shard = shards_[s];
+    const int64_t buffer_local = FindId(shard.buffer_ids, id);
+    if (buffer_local >= 0) {
+      if (shard.buffer_tombstones[static_cast<size_t>(buffer_local)] == 0) {
+        shard.buffer_tombstones[static_cast<size_t>(buffer_local)] = 1;
+        ++shard.buffer_deleted;
         ++count;
       }
       continue;
     }
-    if (growing_rows_ > 0 && id >= growing_base_) {
-      // Growing rows are the contiguous id range right below the buffer.
-      const size_t local = static_cast<size_t>(id - growing_base_);
-      if (growing_clone == nullptr) {
-        growing_clone = CloneOverlay(growing_tombstones_, growing_rows_);
+    bool routed = false;
+    size_t offset = 0;
+    for (size_t c = 0; c < shard.growing_chunks.size() && !routed; ++c) {
+      const std::vector<int64_t>& chunk_ids = *shard.growing_chunk_ids[c];
+      const int64_t local = FindId(chunk_ids, id);
+      if (local >= 0) {
+        if (growing_clones[s] == nullptr) {
+          growing_clones[s] =
+              CloneOverlay(shard.growing_tombstones, shard.growing_rows);
+        }
+        const size_t bit = offset + static_cast<size_t>(local);
+        if (growing_clones[s]->bits[bit] == 0) {
+          growing_clones[s]->bits[bit] = 1;
+          ++growing_clones[s]->deleted;
+          ++count;
+        }
+        routed = true;
       }
-      if (growing_clone->bits[local] == 0) {
-        growing_clone->bits[local] = 1;
-        ++growing_clone->deleted;
-        ++count;
-      }
-      continue;
+      offset += chunk_ids.size();
     }
-    for (size_t i = 0; i < sealed_.size(); ++i) {
-      const int64_t local = sealed_[i].segment->LocalOf(id);
+    if (routed) continue;
+    for (size_t i = 0; i < shard.sealed.size(); ++i) {
+      const int64_t local = shard.sealed[i].segment->LocalOf(id);
       if (local < 0) continue;
-      if (sealed_clones[i] == nullptr) {
-        sealed_clones[i] =
-            CloneOverlay(sealed_[i].tombstones, sealed_[i].segment->rows());
+      if (sealed_clones[s][i] == nullptr) {
+        sealed_clones[s][i] = CloneOverlay(shard.sealed[i].tombstones,
+                                           shard.sealed[i].segment->rows());
       }
-      if (sealed_clones[i]->bits[local] == 0) {
-        sealed_clones[i]->bits[local] = 1;
-        ++sealed_clones[i]->deleted;
+      if (sealed_clones[s][i]->bits[local] == 0) {
+        sealed_clones[s][i]->bits[local] = 1;
+        ++sealed_clones[s][i]->deleted;
         ++count;
       }
       break;
     }
   }
 
-  if (growing_clone != nullptr) growing_tombstones_ = std::move(growing_clone);
-  for (size_t i = 0; i < sealed_.size(); ++i) {
-    if (sealed_clones[i] != nullptr) {
-      sealed_[i].tombstones = std::move(sealed_clones[i]);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (growing_clones[s] != nullptr) {
+      shards_[s].growing_tombstones = std::move(growing_clones[s]);
+    }
+    for (size_t i = 0; i < shards_[s].sealed.size(); ++i) {
+      if (sealed_clones[s][i] != nullptr) {
+        shards_[s].sealed[i].tombstones = std::move(sealed_clones[s][i]);
+      }
     }
   }
   if (deleted != nullptr) *deleted = count;
@@ -233,37 +312,42 @@ Status Collection::Compact(size_t* compacted) {
 Status Collection::CompactLocked(size_t* compacted) {
   size_t rewritten = 0;
   const double trigger = options_.system.compaction_deleted_ratio;
-  for (size_t i = 0; i < sealed_.size();) {
-    const SegmentView& view = sealed_[i];
-    if (view.deleted_rows() == 0 || view.DeletedRatio() <= trigger) {
+  // Shard by shard in shard order: compactions_ is a global counter, so the
+  // rebuild-seed sequence depends only on the mutation history (and matches
+  // the pre-sharding sequence when there is one shard).
+  for (ShardState& shard : shards_) {
+    for (size_t i = 0; i < shard.sealed.size();) {
+      const SegmentView& view = shard.sealed[i];
+      if (view.deleted_rows() == 0 || view.DeletedRatio() <= trigger) {
+        ++i;
+        continue;
+      }
+      ++compactions_;
+      ++rewritten;
+      if (view.live_rows() == 0) {
+        // Dropped from the writer state; the segment itself is freed when
+        // the last snapshot referencing it is dropped.
+        shard.sealed.erase(shard.sealed.begin() + static_cast<ptrdiff_t>(i));
+        continue;
+      }
+      // Rewrite from live rows under an explicit id map, then reseal
+      // through the normal build path (deterministic: the seed depends only
+      // on the mutation history, never on thread count). The fresh segment
+      // is invisible until Publish, so it can be built in place.
+      const Segment& seg = *view.segment;
+      auto fresh = std::make_shared<Segment>(seg.base_id(), dim_);
+      for (size_t r = 0; r < seg.rows(); ++r) {
+        if (view.IsDeleted(r)) continue;
+        fresh->AppendWithId(seg.data().Row(r), dim_, seg.IdAt(r));
+      }
+      Status st = fresh->Seal(options_.index.type, options_.metric,
+                              options_.index.params,
+                              options_.system.build_index_threshold,
+                              options_.seed + 7919 * compactions_ + 13);
+      if (!st.ok()) return st;
+      shard.sealed[i] = SegmentView{std::move(fresh), nullptr};
       ++i;
-      continue;
     }
-    ++compactions_;
-    ++rewritten;
-    if (view.live_rows() == 0) {
-      // Dropped from the writer state; the segment itself is freed when the
-      // last snapshot referencing it is dropped.
-      sealed_.erase(sealed_.begin() + static_cast<ptrdiff_t>(i));
-      continue;
-    }
-    // Rewrite from live rows under an explicit id map, then reseal through
-    // the normal build path (deterministic: the seed depends only on the
-    // mutation history, never on thread count). The fresh segment is
-    // invisible until Publish, so it can be built in place.
-    const Segment& seg = *view.segment;
-    auto fresh = std::make_shared<Segment>(seg.base_id(), dim_);
-    for (size_t r = 0; r < seg.rows(); ++r) {
-      if (view.IsDeleted(r)) continue;
-      fresh->AppendWithId(seg.data().Row(r), dim_, seg.IdAt(r));
-    }
-    Status st = fresh->Seal(options_.index.type, options_.metric,
-                            options_.index.params,
-                            options_.system.build_index_threshold,
-                            options_.seed + 7919 * compactions_ + 13);
-    if (!st.ok()) return st;
-    sealed_[i] = SegmentView{std::move(fresh), nullptr};
-    ++i;
   }
   if (compacted != nullptr) *compacted = rewritten;
   return Status::OK();
@@ -276,13 +360,18 @@ std::shared_ptr<const CollectionSnapshot> Collection::Snapshot() const {
 
 void Collection::Publish() {
   auto snap = std::make_shared<CollectionSnapshot>();
-  snap->sealed = sealed_;
-  snap->growing = GrowingView{growing_chunks_, growing_tombstones_,
-                              growing_base_, growing_rows_};
-  snap->buffer = buffer_;
-  snap->buffer_tombstones = buffer_tombstones_;
-  snap->buffer_deleted = buffer_deleted_;
-  snap->buffer_base = buffer_base_;
+  snap->shards.reserve(shards_.size());
+  for (const ShardState& shard : shards_) {
+    ShardView view;
+    view.sealed = shard.sealed;
+    view.growing = GrowingView{shard.growing_chunks, shard.growing_chunk_ids,
+                               shard.growing_tombstones, shard.growing_rows};
+    view.buffer.rows = shard.buffer;
+    view.buffer.ids = shard.buffer_ids;
+    view.buffer.tombstones = shard.buffer_tombstones;
+    view.buffer.deleted = shard.buffer_deleted;
+    snap->shards.push_back(std::move(view));
+  }
   snap->metric = options_.metric;
   snap->dim = dim_;
   snap->params = options_.index.params;
@@ -313,13 +402,12 @@ std::vector<std::vector<Neighbor>> Collection::SearchBatch(
     return std::vector<std::vector<Neighbor>>(queries.rows());
   }
   // The whole batch runs against one snapshot, so concurrent mutations
-  // never tear it; the shared batch engine needs no locking.
-  return ParallelSearchBatch(
-      queries.rows(),
-      [&](size_t q, WorkCounters* wc) {
-        return snap->SearchOne(queries.Row(q), k, wc);
-      },
-      counters, executor);
+  // never tear it. Delegates to the scatter/gather engine: one task per
+  // (query, shard) pair, per-query gathers in shard order.
+  SearchResponse response = snap->Execute(queries, k, nullptr, nullptr,
+                                          executor);
+  if (counters != nullptr) counters->Add(response.work);
+  return std::move(response.neighbors);
 }
 
 SearchResponse Collection::Search(const SearchRequest& request,
@@ -342,6 +430,8 @@ void Collection::OverrideRuntimeSystem(const SystemConfig& system) {
   options_.system.max_read_concurrency = system.max_read_concurrency;
   options_.system.cache_ratio = system.cache_ratio;
   options_.system.compaction_deleted_ratio = system.compaction_deleted_ratio;
+  // Deliberately not copied: num_shards (layout-defining, fixed at
+  // creation) and the other layout knobs the build cache keys on.
   Publish();
 }
 
@@ -352,26 +442,37 @@ CollectionStats Collection::ComputeStatsLocked() const {
   s.kernel_backend = kernels::Active().name;
   s.total_rows = static_cast<size_t>(next_id_);
   s.num_compactions = compactions_;
-  s.num_sealed_segments = sealed_.size();
-  for (const SegmentView& view : sealed_) {
-    const Segment& seg = *view.segment;
-    if (seg.indexed()) ++s.num_indexed_segments;
-    if (!seg.indexed()) s.growing_rows += seg.rows();  // brute-force rows
-    s.stored_rows += seg.rows();
-    s.live_rows += view.live_rows();
-    s.index_bytes_actual += seg.IndexMemoryBytes();
+  s.num_shards = shards_.size();
+  s.shards.resize(shards_.size());
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    const ShardState& shard = shards_[si];
+    ShardStats& sh = s.shards[si];
+    sh.sealed_segments = shard.sealed.size();
+    s.num_sealed_segments += shard.sealed.size();
+    for (const SegmentView& view : shard.sealed) {
+      const Segment& seg = *view.segment;
+      if (seg.indexed()) ++s.num_indexed_segments;
+      if (!seg.indexed()) s.growing_rows += seg.rows();  // brute-force rows
+      sh.stored_rows += seg.rows();
+      sh.live_rows += view.live_rows();
+      s.index_bytes_actual += seg.IndexMemoryBytes();
+    }
+    if (shard.growing_rows > 0) {
+      const size_t deleted = shard.growing_tombstones != nullptr
+                                 ? shard.growing_tombstones->deleted
+                                 : 0;
+      s.growing_rows += shard.growing_rows;
+      sh.stored_rows += shard.growing_rows;
+      sh.live_rows += shard.growing_rows - deleted;
+    }
+    s.growing_rows += shard.buffer.rows();
+    sh.stored_rows += shard.buffer.rows();
+    sh.live_rows += shard.buffer.rows() - shard.buffer_deleted;
+    s.buffered_rows += shard.buffer.rows();
+    sh.tombstoned_rows = sh.stored_rows - sh.live_rows;
+    s.stored_rows += sh.stored_rows;
+    s.live_rows += sh.live_rows;
   }
-  if (growing_rows_ > 0) {
-    const size_t deleted =
-        growing_tombstones_ != nullptr ? growing_tombstones_->deleted : 0;
-    s.growing_rows += growing_rows_;
-    s.stored_rows += growing_rows_;
-    s.live_rows += growing_rows_ - deleted;
-  }
-  s.growing_rows += buffer_.rows();
-  s.stored_rows += buffer_.rows();
-  s.live_rows += buffer_.rows() - buffer_deleted_;
-  s.buffered_rows = buffer_.rows();
   s.tombstoned_rows = s.stored_rows - s.live_rows;
 
   // Memory follows what is physically stored: tombstoned rows still occupy
@@ -379,8 +480,10 @@ CollectionStats Collection::ComputeStatsLocked() const {
   s.data_mb_paper_scale = options_.scale.MbForRows(s.stored_rows);
   // Index overhead relative to the data it covers, projected to paper scale.
   size_t covered_rows = 0;
-  for (const SegmentView& view : sealed_) {
-    if (view.segment->indexed()) covered_rows += view.segment->rows();
+  for (const ShardState& shard : shards_) {
+    for (const SegmentView& view : shard.sealed) {
+      if (view.segment->indexed()) covered_rows += view.segment->rows();
+    }
   }
   const double data_bytes_actual =
       static_cast<double>(s.stored_rows) * static_cast<double>(dim_) * 4.0;

@@ -1,12 +1,25 @@
-// A collection: the ingest pipeline (insert buffer -> growing segment ->
-// sealed segments with indexes) plus cross-segment top-k search. This is the
-// unit the tuner's evaluator instantiates per configuration.
+// A collection: S independent shards, each its own ingest pipeline (insert
+// buffer -> growing chunks -> sealed segments with indexes), plus
+// scatter/gather top-k search across them. This is the unit the tuner's
+// evaluator instantiates per configuration.
+//
+// Sharding model:
+//  - Rows route to shards by a stable hash of their collection id
+//    (SplitMix64(id) % num_shards), so a row's home shard never changes
+//    across flushes, deletes, or compactions.
+//  - Each shard is an independent segment chain with its own buffer,
+//    growing chunks, and sealed segments; the per-shard thresholds
+//    (insertBufSize, segment_maxSize * sealProportion) apply per shard.
+//  - Searches scatter across the shards and gather per-shard top-k lists
+//    through a deterministic (distance, id) merge — see
+//    CollectionSnapshot::Execute. num_shards == 1 reproduces the
+//    pre-sharding single-chain behavior bit-for-bit.
 //
 // Concurrency model (snapshot isolation):
 //  - Mutations (Insert, Delete, Compact, Flush, UpdateSearchParams,
 //    OverrideRuntimeSystem) serialize on a per-collection writer mutex,
 //    build the next state copy-on-write, and publish an immutable
-//    CollectionSnapshot at the end.
+//    CollectionSnapshot (all shards at once, atomically) at the end.
 //  - Reads (Search, SearchBatch, the typed Search(SearchRequest), Stats)
 //    grab the current snapshot and run entirely against it: no collection
 //    lock is held while searching, so searches proceed concurrently with
@@ -83,60 +96,65 @@ class Collection {
  public:
   explicit Collection(CollectionOptions options);
 
-  /// Inserts `rows` vectors; buffering/sealing/index builds happen inline,
-  /// mirroring the data path of the real system. Fails if any sealed
-  /// segment's index build fails (infeasible index parameters).
+  /// Inserts `rows` vectors; each row routes to its id-hash shard, and
+  /// buffering/sealing/index builds happen inline per shard, mirroring the
+  /// data path of the real system. Fails if any sealed segment's index
+  /// build fails (infeasible index parameters).
   Status Insert(const FloatMatrix& rows);
 
   /// Tombstones the rows with collection ids `ids`, wherever they live
-  /// (sealed segments, the growing segment, or the insert buffer). Unknown
-  /// and already-deleted ids are ignored; `deleted` (may be null) receives
-  /// the number of rows newly tombstoned. Ends with a Compact() pass, so a
+  /// (each id routes to its shard, then newest-first within the shard:
+  /// insert buffer, growing chunks, sealed segments). Unknown and
+  /// already-deleted ids are ignored; `deleted` (may be null) receives the
+  /// number of rows newly tombstoned. Ends with a Compact() pass, so a
   /// delete can trigger segment rewrites (and their index rebuilds) inline,
   /// mirroring Milvus' single-segment compaction trigger. Tombstone bitmaps
   /// are copy-on-write: searches already in flight keep the pre-delete view.
   Status Delete(const std::vector<int64_t>& ids, size_t* deleted = nullptr);
 
-  /// Rewrites every sealed segment whose tombstoned fraction exceeds
-  /// system.compaction_deleted_ratio from its live rows, rebuilding the
-  /// index through the normal seal path (parallel build included). Segments
-  /// left with zero live rows are dropped outright. Idempotent: a rewritten
-  /// segment has no tombstones, so a second pass is a no-op. `compacted`
-  /// (may be null) receives the number of segments rewritten or dropped.
-  /// Concurrent searches keep reading the pre-compaction segments, which
-  /// are freed when the last reader drops its snapshot.
+  /// Rewrites every sealed segment (shard by shard, in shard order) whose
+  /// tombstoned fraction exceeds system.compaction_deleted_ratio from its
+  /// live rows, rebuilding the index through the normal seal path (parallel
+  /// build included). Segments left with zero live rows are dropped
+  /// outright. Idempotent: a rewritten segment has no tombstones, so a
+  /// second pass is a no-op. `compacted` (may be null) receives the number
+  /// of segments rewritten or dropped across all shards. Concurrent
+  /// searches keep reading the pre-compaction segments, which are freed
+  /// when the last reader drops its snapshot.
   Status Compact(size_t* compacted = nullptr);
 
-  /// Flushes the insert buffer into the growing segment and seals every
-  /// growing segment (end-of-ingest barrier, like Milvus flush+load).
+  /// Flushes every shard's insert buffer into its growing tier and seals
+  /// every growing tier (end-of-ingest barrier, like Milvus flush+load).
   Status Flush();
 
   /// The current published state. Searches against the returned snapshot
-  /// see exactly one collection state regardless of concurrent writers;
-  /// holding it pins the segment memory it references.
+  /// see exactly one collection state (all shards at once) regardless of
+  /// concurrent writers; holding it pins the segment memory it references.
   std::shared_ptr<const CollectionSnapshot> Snapshot() const;
 
-  /// Merged top-k over *live* rows across sealed segments, the growing
-  /// segment, and the insert buffer; tombstoned rows never surface.
-  /// Lock-free snapshot read. Invalid arguments (k == 0) log a warning and
-  /// return empty instead of invoking UB.
+  /// Merged top-k over *live* rows across every shard; tombstoned rows
+  /// never surface. Lock-free snapshot read. Invalid arguments (k == 0)
+  /// log a warning and return empty instead of invoking UB.
   std::vector<Neighbor> Search(const float* query, size_t k,
                                WorkCounters* counters) const;
 
-  /// Search() for every row of `queries`, sharded one query per task across
-  /// `executor` (ParallelExecutor::Global() when null). Result i corresponds
-  /// to queries.Row(i); results and the counter aggregate are identical to
-  /// calling Search() sequentially in row order. The whole batch runs
-  /// against one snapshot. A query dimension that does not match the
-  /// collection (or k == 0) logs a warning and returns one empty result per
-  /// query instead of invoking UB.
+  /// Search() for every row of `queries`, scattered one task per
+  /// (query, shard) pair across `executor` (ParallelExecutor::Global() when
+  /// null). Result i corresponds to queries.Row(i); results and the counter
+  /// aggregate are identical to calling Search() sequentially in row order,
+  /// at any executor width and shard count. The whole batch runs against
+  /// one snapshot. A query dimension that does not match the collection (or
+  /// k == 0) logs a warning and returns one empty result per query instead
+  /// of invoking UB.
   std::vector<std::vector<Neighbor>> SearchBatch(
       const FloatMatrix& queries, size_t k, WorkCounters* counters,
       ParallelExecutor* executor = nullptr) const;
 
   /// Typed entry point: executes `request` against the current snapshot
   /// (see CollectionSnapshot::Search). The response carries per-query
-  /// counters and the stats of the snapshot that served it.
+  /// counters and the stats of the snapshot that served it. A per-request
+  /// knob override (request.params) is resolved once and applied
+  /// identically on every shard.
   SearchResponse Search(const SearchRequest& request,
                         ParallelExecutor* executor = nullptr) const;
 
@@ -149,12 +167,14 @@ class Collection {
   /// Overrides the system knobs that do not affect the segment layout
   /// (graceful_time, max_read_concurrency, cache_ratio, and the compaction
   /// trigger ratio — inert until rows are deleted); the cost and memory
-  /// models read them from options(). Layout-affecting fields are left
-  /// untouched — callers guarantee they match (the build cache keys on them).
+  /// models read them from options(). Layout-affecting fields — including
+  /// num_shards, which fixes the shard count at creation — are left
+  /// untouched; callers guarantee they match (the build cache keys on them).
   void OverrideRuntimeSystem(const SystemConfig& system);
 
   /// Snapshot-consistent statistics: always describes one published state
-  /// (stored == live + tombstoned even mid-churn).
+  /// (stored == live + tombstoned even mid-churn), including the per-shard
+  /// row/tombstone balance (stats.shards).
   CollectionStats Stats() const;
 
   /// Writer-side options. Safe between mutations; concurrent readers should
@@ -164,22 +184,58 @@ class Collection {
   /// Vector dimensionality (0 until the first insert); snapshot read.
   size_t dim() const { return Snapshot()->dim; }
 
-  /// Rows at which a growing segment seals:
+  /// Shard count in effect (options().system.num_shards clamped to a sane
+  /// range, fixed at construction).
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Rows at which one shard's growing tier seals:
   /// segment_max_size_mb * seal_proportion, in actual rows.
   size_t SealRows() const;
-  /// Insert-buffer capacity in actual rows.
+  /// Per-shard insert-buffer capacity in actual rows.
   size_t BufferRows() const;
 
  private:
+  /// Writer-side state of one shard: the mutable counterpart of ShardView.
+  /// Chunks and overlays are shared with published snapshots and never
+  /// mutated in place (copy-on-write); the buffer is writer-owned and
+  /// copied at publish time.
+  struct ShardState {
+    std::vector<SegmentView> sealed;
+    /// The growing tier: one frozen chunk per buffer flush plus the
+    /// parallel per-chunk collection-id map (a shard's ids are
+    /// non-contiguous under hash routing). Keeps streamed ingest O(buffer)
+    /// per flush even though every mutation publishes.
+    std::vector<std::shared_ptr<const FloatMatrix>> growing_chunks;
+    std::vector<std::shared_ptr<const std::vector<int64_t>>>
+        growing_chunk_ids;
+    size_t growing_rows = 0;  // total rows across growing_chunks
+    std::shared_ptr<const TombstoneOverlay> growing_tombstones;
+    FloatMatrix buffer;              // insert buffer (pre-growing rows)
+    std::vector<int64_t> buffer_ids;  // collection id per buffer row
+    /// Tombstones of buffered rows (1 = deleted), parallel to buffer;
+    /// carried into the growing tier on flush so ids stay stable.
+    std::vector<uint8_t> buffer_tombstones;
+    size_t buffer_deleted = 0;  // set bits in buffer_tombstones
+  };
+
+  /// Home shard of collection id `id`: SplitMix64(id) % num_shards. Stable
+  /// across the row's whole lifecycle; with one shard every row maps to
+  /// shard 0 (hash skipped, preserving bit-for-bit single-chain parity).
+  size_t ShardOf(int64_t id) const;
+
   Status InsertLocked(const FloatMatrix& rows);
   Status CompactLocked(size_t* compacted);
-  /// Concatenates the growing chunks into one sealed segment and builds
-  /// its index (no-op when the growing tier is empty).
-  Status SealGrowing();
-  /// Freezes the insert buffer into a new growing chunk, merging its
-  /// tombstone marks into the growing overlay (no-op on an empty buffer).
-  void FlushBufferIntoGrowing();
-  /// Rebuilds `snapshot_` from the writer state and publishes it.
+  /// Concatenates shard `shard_index`'s growing chunks into one sealed
+  /// segment under an explicit id map and builds its index (no-op when that
+  /// shard's growing tier is empty). The build seed folds in the shard
+  /// index, so equal-shaped shards still build distinct k-means draws.
+  Status SealShardGrowing(size_t shard_index);
+  /// Freezes `shard`'s insert buffer into a new growing chunk, merging its
+  /// tombstone marks into the shard's growing overlay (no-op on an empty
+  /// buffer).
+  void FlushBufferIntoGrowing(ShardState& shard);
+  /// Rebuilds `snapshot_` from the writer state (every shard) and
+  /// publishes it.
   void Publish();
   CollectionStats ComputeStatsLocked() const;
 
@@ -195,23 +251,11 @@ class Collection {
   CollectionOptions options_;
   size_t dim_ = 0;
   int64_t next_id_ = 0;
-  size_t compactions_ = 0;  // segment rewrites so far (seeds the rebuilds)
-
-  std::vector<SegmentView> sealed_;
-  /// The growing tier: one frozen chunk per buffer flush (shared with
-  /// published snapshots, never mutated), concatenated into a Segment at
-  /// seal time. Keeps streamed ingest O(buffer) per flush even though
-  /// every mutation publishes.
-  std::vector<std::shared_ptr<const FloatMatrix>> growing_chunks_;
-  int64_t growing_base_ = 0;   // collection id of the first growing row
-  size_t growing_rows_ = 0;    // total rows across growing_chunks_
-  std::shared_ptr<const TombstoneOverlay> growing_tombstones_;
-  FloatMatrix buffer_;       // insert buffer (pre-growing rows)
-  int64_t buffer_base_ = 0;  // collection id of buffer_ row 0
-  /// Tombstones of buffered rows (1 = deleted), parallel to buffer_; carried
-  /// into the growing segment on flush so ids stay stable.
-  std::vector<uint8_t> buffer_tombstones_;
-  size_t buffer_deleted_ = 0;  // set bits in buffer_tombstones_
+  /// Segment rewrites so far, across all shards (seeds the rebuilds; kept
+  /// global so the rebuild-seed sequence matches the mutation history
+  /// regardless of which shard compacts).
+  size_t compactions_ = 0;
+  std::vector<ShardState> shards_;
 };
 
 }  // namespace vdt

@@ -1,5 +1,7 @@
 #include "vdms/snapshot.h"
 
+#include <cassert>
+
 #include "common/logging.h"
 #include "common/parallel_executor.h"
 #include "index/topk.h"
@@ -11,7 +13,9 @@ std::vector<Neighbor> GrowingView::Search(Metric metric, const float* query,
                                           const IdFilter* id_filter) const {
   TopKCollector merged(k);
   size_t offset = 0;
-  for (const auto& chunk : chunks) {
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    const FloatMatrix& chunk = *chunks[c];
+    const std::vector<int64_t>& ids = *chunk_ids[c];
     // The overlay spans all chunks; offsetting the bitmap pointer gives
     // each chunk its local view of it.
     const uint8_t* bits = tombstones != nullptr && tombstones->deleted > 0
@@ -19,9 +23,8 @@ std::vector<Neighbor> GrowingView::Search(Metric metric, const float* query,
                               : nullptr;
     RowFilter::Predicate local_pred;
     if (id_filter != nullptr) {
-      const int64_t chunk_base = base + static_cast<int64_t>(offset);
-      local_pred = [id_filter, chunk_base](int64_t local) {
-        return (*id_filter)(chunk_base + local);
+      local_pred = [id_filter, &ids](int64_t local) {
+        return (*id_filter)(ids[static_cast<size_t>(local)]);
       };
     }
     const RowFilter filter(bits,
@@ -29,12 +32,31 @@ std::vector<Neighbor> GrowingView::Search(Metric metric, const float* query,
     const RowFilter* fp =
         bits != nullptr || id_filter != nullptr ? &filter : nullptr;
     for (const Neighbor& n :
-         BruteForceSearch(*chunk, metric, query, k, counters, fp)) {
-      merged.Offer(n.id + base + static_cast<int64_t>(offset), n.distance);
+         BruteForceSearch(chunk, metric, query, k, counters, fp)) {
+      merged.Offer(ids[static_cast<size_t>(n.id)], n.distance);
     }
-    offset += chunk->rows();
+    offset += chunk.rows();
   }
   return merged.Take();
+}
+
+std::vector<Neighbor> BufferView::Search(Metric metric, const float* query,
+                                         size_t k, WorkCounters* counters,
+                                         const IdFilter* id_filter) const {
+  const uint8_t* bits = deleted > 0 ? tombstones.data() : nullptr;
+  RowFilter::Predicate local_pred;
+  if (id_filter != nullptr) {
+    local_pred = [this, id_filter](int64_t local) {
+      return (*id_filter)(ids[static_cast<size_t>(local)]);
+    };
+  }
+  const RowFilter filter(bits, id_filter != nullptr ? &local_pred : nullptr);
+  const RowFilter* fp =
+      bits != nullptr || id_filter != nullptr ? &filter : nullptr;
+  std::vector<Neighbor> local =
+      BruteForceSearch(rows, metric, query, k, counters, fp);
+  for (Neighbor& n : local) n.id = ids[static_cast<size_t>(n.id)];
+  return local;
 }
 
 std::vector<Neighbor> SegmentView::Search(Metric metric, const float* query,
@@ -57,18 +79,27 @@ std::vector<Neighbor> SegmentView::Search(Metric metric, const float* query,
   return segment->Search(metric, query, k, counters, fp, knobs);
 }
 
-std::vector<Neighbor> CollectionSnapshot::SearchOne(
-    const float* query, size_t k, WorkCounters* counters,
-    const IdFilter* id_filter, const IndexParams* knobs) const {
-  if (k == 0 || query == nullptr) {
-    VDT_LOG(kWarning) << "CollectionSnapshot::SearchOne: invalid arguments "
-                      << "(k=" << k
-                      << (query == nullptr ? ", null query" : "")
-                      << "); returning empty";
-    return {};
-  }
-  if (knobs == nullptr) knobs = &params;
+size_t ShardView::stored_rows() const {
+  size_t n = 0;
+  for (const SegmentView& view : sealed) n += view.rows();
+  return n + growing.rows + buffer.rows.rows();
+}
 
+size_t ShardView::live_rows() const {
+  size_t n = 0;
+  for (const SegmentView& view : sealed) n += view.live_rows();
+  return n + growing.live_rows() + buffer.live_rows();
+}
+
+std::vector<Neighbor> ShardView::Search(Metric metric, const float* query,
+                                        size_t k, WorkCounters* counters,
+                                        const IdFilter* id_filter,
+                                        const IndexParams* knobs) const {
+  // Knob-override contract: the caller (SearchOne/Execute) resolves any
+  // per-request override exactly once and hands every shard of the scatter
+  // the same effective knobs — a shard never falls back on its own.
+  assert(knobs != nullptr &&
+         "ShardView::Search requires caller-resolved knobs");
   TopKCollector merged(k);
   for (const SegmentView& view : sealed) {
     for (const Neighbor& n :
@@ -82,25 +113,42 @@ std::vector<Neighbor> CollectionSnapshot::SearchOne(
       merged.Offer(n.id, n.distance);
     }
   }
-  if (buffer.rows() > 0) {
-    const uint8_t* bits =
-        buffer_deleted > 0 ? buffer_tombstones.data() : nullptr;
-    RowFilter::Predicate buffer_pred;
-    if (id_filter != nullptr) {
-      buffer_pred = [this, id_filter](int64_t local) {
-        return (*id_filter)(local + buffer_base);
-      };
-    }
-    const RowFilter filter(bits,
-                           id_filter != nullptr ? &buffer_pred : nullptr);
-    const RowFilter* fp =
-        bits != nullptr || id_filter != nullptr ? &filter : nullptr;
+  if (buffer.rows.rows() > 0) {
     for (const Neighbor& n :
-         BruteForceSearch(buffer, metric, query, k, counters, fp)) {
-      merged.Offer(n.id + buffer_base, n.distance);
+         buffer.Search(metric, query, k, counters, id_filter)) {
+      merged.Offer(n.id, n.distance);
     }
   }
+  if (counters != nullptr) ++counters->shard_scatters;
   return merged.Take();
+}
+
+std::vector<Neighbor> CollectionSnapshot::SearchOne(
+    const float* query, size_t k, WorkCounters* counters,
+    const IdFilter* id_filter, const IndexParams* knobs) const {
+  if (k == 0 || query == nullptr) {
+    VDT_LOG(kWarning) << "CollectionSnapshot::SearchOne: invalid arguments "
+                      << "(k=" << k
+                      << (query == nullptr ? ", null query" : "")
+                      << "); returning empty";
+    return {};
+  }
+  // Resolve the override once; every shard searches under the same knobs.
+  const IndexParams* effective = knobs != nullptr ? knobs : &params;
+
+  // Scatter across the shards in shard order, then gather: MergeTopK's
+  // (distance, id) total order makes the merged result independent of shard
+  // count and shard order (one shard reduces to the single-chain search).
+  std::vector<std::vector<Neighbor>> lists;
+  lists.reserve(shards.size());
+  size_t offered = 0;
+  for (const ShardView& shard : shards) {
+    lists.push_back(
+        shard.Search(metric, query, k, counters, id_filter, effective));
+    offered += lists.back().size();
+  }
+  if (counters != nullptr) counters->gather_candidates += offered;
+  return MergeTopK(std::move(lists), k);
 }
 
 SearchResponse CollectionSnapshot::Search(const SearchRequest& request,
@@ -121,7 +169,7 @@ SearchResponse CollectionSnapshot::Execute(const FloatMatrix& queries,
   response.neighbors.resize(nq);
   response.query_work.resize(nq);
   response.stats = stats;
-  if (nq == 0) return response;
+  if (nq == 0 || shards.empty()) return response;
 
   if (dim != 0 && queries.dim() != dim) {
     VDT_LOG(kWarning) << "CollectionSnapshot::Search: query dim "
@@ -135,15 +183,64 @@ SearchResponse CollectionSnapshot::Execute(const FloatMatrix& queries,
     return response;
   }
 
+  // Resolve the per-request override once, up front. The scatter below
+  // hands this same pointer to every (query, shard) task, which is what
+  // guarantees overrides apply identically on every shard.
+  const IndexParams* effective = knobs != nullptr ? knobs : &params;
+  const size_t num_shards = shards.size();
+
+  // Scatter: one task per (query, shard) pair — a single slow shard no
+  // longer serializes the whole query, and wide queries use every core even
+  // at nq == 1. Each task owns its partial-result and counter slot, so no
+  // synchronization is needed inside the search.
+  std::vector<std::vector<Neighbor>> partial(nq * num_shards);
+  std::vector<WorkCounters> scatter_work(nq * num_shards);
+#ifndef NDEBUG
+  // Debug cross-check of the knob-override contract: every scatter task
+  // records the effective search knobs it applied; they must all agree.
+  struct AppliedKnobs {
+    int nprobe = 0;
+    int ef = 0;
+    int reorder_k = 0;
+  };
+  std::vector<AppliedKnobs> applied(nq * num_shards);
+#endif
   if (executor == nullptr) executor = &ParallelExecutor::Global();
-  executor->ParallelFor(nq, [&](size_t q) {
-    response.neighbors[q] = SearchOne(queries.Row(q), k,
-                                      &response.query_work[q], id_filter,
-                                      knobs);
+  executor->ParallelFor(nq * num_shards, [&](size_t t) {
+    const size_t q = t / num_shards;
+    const size_t s = t % num_shards;
+#ifndef NDEBUG
+    applied[t] = {effective->nprobe, effective->ef, effective->reorder_k};
+#endif
+    partial[t] = shards[s].Search(metric, queries.Row(q), k,
+                                  &scatter_work[t], id_filter, effective);
   });
-  // Fold per-query counters in query order: the aggregate is bit-identical
-  // to the sequential loop no matter how the queries were scheduled.
-  for (size_t q = 0; q < nq; ++q) response.work.Add(response.query_work[q]);
+#ifndef NDEBUG
+  for (size_t t = 1; t < applied.size(); ++t) {
+    assert(applied[t].nprobe == applied[0].nprobe &&
+           applied[t].ef == applied[0].ef &&
+           applied[t].reorder_k == applied[0].reorder_k &&
+           "scatter tasks resolved different effective knobs");
+  }
+#endif
+
+  // Gather: per query, fold the shard partials (lists and counters) in
+  // shard order, then fold per-query counters in query order — the
+  // aggregate is bit-identical to a sequential loop no matter how the
+  // scatter was scheduled.
+  for (size_t q = 0; q < nq; ++q) {
+    std::vector<std::vector<Neighbor>> lists;
+    lists.reserve(num_shards);
+    size_t offered = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      response.query_work[q].Add(scatter_work[q * num_shards + s]);
+      offered += partial[q * num_shards + s].size();
+      lists.push_back(std::move(partial[q * num_shards + s]));
+    }
+    response.query_work[q].gather_candidates += offered;
+    response.neighbors[q] = MergeTopK(std::move(lists), k);
+    response.work.Add(response.query_work[q]);
+  }
   return response;
 }
 

@@ -1,14 +1,21 @@
 // The snapshot read model behind the concurrent engine API.
 //
 // A CollectionSnapshot is an immutable, self-contained view of one
-// published collection state: shared references to the sealed and growing
-// segments, copy-on-write tombstone overlays, a copy of the insert buffer,
-// and the statistics / search knobs / runtime system config in effect when
-// the snapshot was published. Searches run *entirely* against a snapshot —
-// no collection or engine lock is held — while writers build the next state
-// under the collection's writer mutex and publish it atomically. Segment
-// memory is reclaimed by shared_ptr: a compaction or drop frees a segment
-// only when the last in-flight reader drops its snapshot.
+// published collection state: one ShardView per shard, each holding shared
+// references to that shard's sealed and growing segments, copy-on-write
+// tombstone overlays, and a copy of its insert buffer, plus the statistics
+// / search knobs / runtime system config in effect when the snapshot was
+// published. Searches run *entirely* against a snapshot — no collection or
+// engine lock is held — while writers build the next state copy-on-write
+// and publish it atomically. Segment memory is reclaimed by shared_ptr: a
+// compaction or drop frees a segment only when the last in-flight reader
+// drops its snapshot.
+//
+// Scatter/gather: a query fans out across the shards (each shard answers
+// its own top-k over its segment chain) and the per-shard lists reduce
+// through MergeTopK's (distance, id) total order, so the merged result is
+// independent of shard count, shard order, and thread scheduling. With one
+// shard the scatter degenerates to the single-chain search.
 #ifndef VDTUNER_VDMS_SNAPSHOT_H_
 #define VDTUNER_VDMS_SNAPSHOT_H_
 
@@ -34,16 +41,18 @@ struct TombstoneOverlay {
   size_t deleted = 0;
 };
 
-/// The growing tier as a snapshot sees it: frozen row chunks (one per
-/// buffer flush — sharing them keeps streamed ingest O(buffer) per flush
-/// instead of re-copying the growing rows) plus the tombstone overlay that
-/// was current at publish time, spanning all chunks. Rows are contiguous
-/// collection ids starting at `base`; chunk boundaries are invisible to
-/// results and work counters.
+/// One shard's growing tier as a snapshot sees it: frozen row chunks (one
+/// per buffer flush — sharing them keeps streamed ingest O(buffer) per
+/// flush instead of re-copying the growing rows), a parallel per-chunk id
+/// map (the id-hash router makes a shard's collection ids non-contiguous),
+/// and the tombstone overlay that was current at publish time, spanning all
+/// chunks. Chunk boundaries are invisible to results and work counters.
 struct GrowingView {
   std::vector<std::shared_ptr<const FloatMatrix>> chunks;
+  /// Collection ids per chunk row, parallel to `chunks`; ascending within
+  /// the shard (rows arrive in global insertion order).
+  std::vector<std::shared_ptr<const std::vector<int64_t>>> chunk_ids;
   std::shared_ptr<const TombstoneOverlay> tombstones;
-  int64_t base = 0;
   size_t rows = 0;
 
   size_t deleted_rows() const { return tombstones ? tombstones->deleted : 0; }
@@ -84,28 +93,80 @@ struct SegmentView {
                                const IndexParams* knobs) const;
 };
 
+/// One shard's insert buffer as a snapshot sees it — the one tier copied
+/// per publish, by design: it is bounded by the insertBufSize knob
+/// (hundreds of rows), and copying it is what lets the writer keep
+/// appending in place. `ids` maps buffer rows to collection ids (ascending
+/// within the shard); `tombstones` is parallel to the rows.
+struct BufferView {
+  FloatMatrix rows;
+  std::vector<int64_t> ids;
+  std::vector<uint8_t> tombstones;
+  size_t deleted = 0;
+
+  size_t live_rows() const { return rows.rows() - deleted; }
+
+  /// Brute-force top-k over the live buffered rows; result ids are
+  /// collection row ids.
+  std::vector<Neighbor> Search(Metric metric, const float* query, size_t k,
+                               WorkCounters* counters,
+                               const IdFilter* id_filter) const;
+};
+
+/// One shard of a published collection state: an independent segment chain
+/// (sealed segments -> growing chunks -> insert buffer) holding exactly the
+/// rows the id-hash router assigned to it. The scatter half of every search
+/// runs ShardView::Search once per shard; the gather half merges the
+/// per-shard lists through MergeTopK.
+struct ShardView {
+  std::vector<SegmentView> sealed;
+  GrowingView growing;  // rows == 0 when absent
+  BufferView buffer;
+
+  size_t stored_rows() const;
+  size_t live_rows() const;
+
+  /// This shard's top-k over its live rows, searched in fixed tier order
+  /// (sealed segments, then growing chunks, then the buffer) so the result
+  /// — including first-seen-wins ties at the k boundary — is reproducible.
+  /// `knobs` must be non-null: the caller resolves any per-request override
+  /// once and passes the same effective knobs to every shard (the
+  /// knob-override contract; debug builds assert it). Increments
+  /// `counters->shard_scatters` by one.
+  std::vector<Neighbor> Search(Metric metric, const float* query, size_t k,
+                               WorkCounters* counters,
+                               const IdFilter* id_filter,
+                               const IndexParams* knobs) const;
+};
+
 /// An immutable published collection state. Built by Collection::Publish;
 /// read by every search path. All members are set before publication and
 /// never change afterwards, so any number of threads may search one
 /// snapshot concurrently.
 class CollectionSnapshot {
  public:
-  /// Merged top-k over live rows across sealed segments, the growing
-  /// segment, and the buffer copy; tombstoned rows never surface.
+  /// Merged top-k over live rows across every shard's sealed segments,
+  /// growing chunks, and buffer copy; tombstoned rows never surface.
+  /// Scatters sequentially across the shards and gathers through MergeTopK
+  /// — bit-identical to the scatter Execute() runs in parallel.
   /// `id_filter` (may be null) additionally restricts results to collection
   /// ids it accepts; `knobs` (null = this snapshot's params) overrides
-  /// search-time index parameters. Invalid arguments (k == 0, null query)
-  /// log a warning and return empty instead of invoking UB.
+  /// search-time index parameters, applied identically on every shard.
+  /// Invalid arguments (k == 0, null query) log a warning and return empty
+  /// instead of invoking UB.
   std::vector<Neighbor> SearchOne(const float* query, size_t k,
                                   WorkCounters* counters,
                                   const IdFilter* id_filter = nullptr,
                                   const IndexParams* knobs = nullptr) const;
 
-  /// Executes a typed request against this snapshot, sharding queries
-  /// one-per-task across `executor` (ParallelExecutor::Global() when null).
-  /// Results and the counter aggregate are bit-identical to a sequential
-  /// loop in query order. A query dimension mismatch (or k == 0) logs a
-  /// warning and returns one empty result per query.
+  /// Executes a typed request against this snapshot: the scatter runs one
+  /// task per (query, shard) pair across `executor`
+  /// (ParallelExecutor::Global() when null), per-shard partials land in
+  /// pre-sized slots, and each query's gather folds its shard lists (and
+  /// counters) in shard order before the per-query results fold in query
+  /// order. Results and the counter aggregate are therefore bit-identical
+  /// to a sequential loop at any executor width. A query dimension mismatch
+  /// (or k == 0) logs a warning and returns one empty result per query.
   SearchResponse Search(const SearchRequest& request,
                         ParallelExecutor* executor = nullptr) const;
 
@@ -118,15 +179,9 @@ class CollectionSnapshot {
                          ParallelExecutor* executor) const;
 
   // --- state (filled by Collection::Publish, immutable afterwards) ---
-  std::vector<SegmentView> sealed;
-  GrowingView growing;               // rows == 0 when absent
-  /// Copy of the insert buffer — the one tier copied per publish, by
-  /// design: it is bounded by the insertBufSize knob (hundreds of rows),
-  /// and copying it is what lets the writer keep appending in place.
-  FloatMatrix buffer;
-  std::vector<uint8_t> buffer_tombstones;  // parallel to buffer rows
-  size_t buffer_deleted = 0;
-  int64_t buffer_base = 0;           // collection id of buffer row 0
+  /// One entry per shard; size() == stats.num_shards >= 1 always (a fresh
+  /// collection publishes its empty shards immediately).
+  std::vector<ShardView> shards;
   Metric metric = Metric::kAngular;
   size_t dim = 0;                    // 0 until the first insert
   IndexParams params;                // search-time knobs in effect

@@ -13,7 +13,8 @@ std::string SystemConfig::ToString() const {
      << "ms maxReadConcurrency=" << max_read_concurrency
      << " buildIndexThreshold=" << build_index_threshold
      << " cacheRatio=" << cache_ratio
-     << " compactionDeletedRatio=" << compaction_deleted_ratio;
+     << " compactionDeletedRatio=" << compaction_deleted_ratio
+     << " numShards=" << num_shards;
   return os.str();
 }
 

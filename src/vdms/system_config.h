@@ -34,6 +34,18 @@ namespace vdt {
 ///                            rewritten from its live rows (index rebuilt).
 ///                            1.0 disables compaction (a ratio can never
 ///                            exceed it).
+///  - num_shards              common.shardsNum: independent shards the
+///                            collection scatters rows across by stable
+///                            id-hash. Each shard is its own segment chain
+///                            (buffer -> growing -> sealed, with the
+///                            per-shard thresholds above); searches fan out
+///                            across shards and gather per-shard top-k
+///                            through a deterministic (distance, id) merge.
+///                            Layout-affecting (like segment_max_size_mb):
+///                            fixed at collection creation, keyed by the
+///                            evaluator's build cache, and never changed by
+///                            OverrideRuntimeSystem. 1 = unsharded
+///                            (bit-for-bit the pre-sharding behavior).
 struct SystemConfig {
   double segment_max_size_mb = 512.0;
   double seal_proportion = 0.12;
@@ -43,6 +55,7 @@ struct SystemConfig {
   int build_index_threshold = 128;
   double cache_ratio = 0.30;
   double compaction_deleted_ratio = 0.2;
+  int num_shards = 1;
 
   std::string ToString() const;
 };

@@ -76,8 +76,12 @@ TEST(KnowledgeBaseTest, Pre17DimFilesMigrateOnLoad) {
     out << "vdtuner-knowledge-base-v1\n";
     for (const Observation& obs : history) {
       std::string line = SerializeObservation(obs, space);
-      // Strip the last (compaction-ratio) coordinate: the v1 record layout.
-      line.resize(line.rfind('\t'));
+      // Strip every coordinate appended since v1 (compaction ratio, then
+      // num_shards): the v1 record layout carries kDimCompactionRatio
+      // coordinates.
+      for (size_t d = kDimCompactionRatio; d < space.dims(); ++d) {
+        line.resize(line.rfind('\t'));
+      }
       out << line << '\n';
     }
   }
@@ -87,8 +91,10 @@ TEST(KnowledgeBaseTest, Pre17DimFilesMigrateOnLoad) {
   for (size_t i = 0; i < history.size(); ++i) {
     const Observation& back = (*loaded)[i];
     ASSERT_EQ(back.x.size(), space.dims());
+    // Both appended dimensions pad with their defaults on migration.
     EXPECT_NEAR(back.config.system.compaction_deleted_ratio, 0.2, 1e-9);
-    for (size_t d = 0; d + 1 < space.dims(); ++d) {
+    EXPECT_EQ(back.config.system.num_shards, 1);
+    for (size_t d = 0; d < static_cast<size_t>(kDimCompactionRatio); ++d) {
       EXPECT_DOUBLE_EQ(back.x[d], history[i].x[d]) << "row " << i;
     }
   }

@@ -21,11 +21,11 @@ namespace {
 // ------------------------------------------------------------ param space
 
 // The paper's 16 dimensions plus the compaction trigger ratio (dynamic-data
-// extension) = 17.
-TEST(ParamSpaceTest, HasSeventeenDimensions) {
+// extension) and the shard count (scatter/gather serving extension) = 18.
+TEST(ParamSpaceTest, HasEighteenDimensions) {
   ParamSpace space;
-  EXPECT_EQ(space.dims(), 17u);
-  EXPECT_EQ(static_cast<size_t>(kNumParamDims), 17u);
+  EXPECT_EQ(space.dims(), 18u);
+  EXPECT_EQ(static_cast<size_t>(kNumParamDims), 18u);
 }
 
 TEST(ParamSpaceTest, EncodeDecodeRoundTrip) {
@@ -166,8 +166,16 @@ class SyntheticEvaluator : public Evaluator {
     const double graceful_term =
         0.5 + 0.5 * std::min(1.0, config.system.graceful_time_ms / 500.0);
     const double sys_quality = (0.35 + 0.65 * seal_term) * graceful_term;
+    // Sharding term: intra-query scatter parallelism helps until the
+    // per-shard fan-out overhead dominates — a mild peak at 4 shards,
+    // exactly 1.0 at the num_shards=1 default (and at the 16 extreme) so
+    // every pre-sharding absolute expectation on this surface still holds.
+    const double u =
+        std::log2(static_cast<double>(config.system.num_shards)) / 4.0;
+    const double shard_term = 1.0 + 0.48 * u * (1.0 - u);
 
-    out.qps = 1500.0 * type_speed[t] * (1.2 - effort) * sys_quality;
+    out.qps =
+        1500.0 * type_speed[t] * (1.2 - effort) * sys_quality * shard_term;
     out.recall = std::min(
         1.0, type_recall[t] * (0.55 + 0.5 * std::sqrt(std::max(0.0, effort))));
     out.memory_gib = 2.0 + config.system.segment_max_size_mb / 1024.0 +
@@ -400,23 +408,34 @@ TEST(VdTunerTest, ScoreLogTracksRemainingTypes) {
 
 TEST(VdTunerTest, OutperformsRandomOnSyntheticSurface) {
   ParamSpace space;
-  TunerOptions opts;
-  opts.seed = 21;
 
-  SyntheticEvaluator eval_vd;
-  VdtunerOptions vd;
-  vd.candidate_pool = 64;
-  VdTuner vdtuner(&space, &eval_vd, opts, vd);
-  vdtuner.Run(60);
+  // Both tuners are stochastic, so a single-seed comparison measures luck
+  // as much as method; the paper's claim is about expected performance.
+  // Aggregate the best feasible objective across a few seeds — including
+  // ones where random draws a lucky near-optimal sample early — and
+  // require VDTuner to stay competitive on the total.
+  double vd_total = 0.0;
+  double rand_total = 0.0;
+  for (const uint64_t seed : {5, 9, 21}) {
+    TunerOptions opts;
+    opts.seed = seed;
 
-  SyntheticEvaluator eval_rand;
-  RandomTuner random(&space, &eval_rand, opts);
-  random.Run(60);
+    SyntheticEvaluator eval_vd;
+    VdtunerOptions vd;
+    vd.candidate_pool = 64;
+    VdTuner vdtuner(&space, &eval_vd, opts, vd);
+    vdtuner.Run(60);
+    vd_total += BestPrimaryUnderRecallFloor(vdtuner.history(), 0.9);
+
+    SyntheticEvaluator eval_rand;
+    RandomTuner random(&space, &eval_rand, opts);
+    random.Run(60);
+    rand_total += BestPrimaryUnderRecallFloor(random.history(), 0.9);
+  }
 
   // VDTuner's model-guided search should be competitive with (typically
   // better than) space-filling random at the same budget.
-  EXPECT_GE(BestPrimaryUnderRecallFloor(vdtuner.history(), 0.9),
-            0.85 * BestPrimaryUnderRecallFloor(random.history(), 0.9));
+  EXPECT_GE(vd_total, 0.85 * rand_total);
 }
 
 TEST(VdTunerTest, ConstraintModeRespectsFloor) {
