@@ -1,0 +1,228 @@
+// Extension bench: closed-loop serving throughput/latency through the
+// network dataplane (src/net). N client threads drive one VdtServer at a
+// fixed aggregate QPS target for a fixed duration; each thread paces its own
+// sends open-loop (send times are scheduled, not reactive) and records
+// client-observed latency. The report shows exact client-side percentiles
+// (sorted samples, not histogram buckets) next to the server's own Stats-op
+// view, so the wire overhead and the log-bucket approximation error are both
+// visible. A healthy run ends with zero protocol errors.
+//
+//   ext_serving [--threads=4] [--qps=2000] [--seconds=3] [--rows=20000]
+//               [--dim=32] [--shards=2] [--k=10] [--workers=4]
+//               [--timeout-ms=0]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "index/distance.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "vdms/vdms.h"
+
+namespace {
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// Exact percentile of a sorted sample (nearest-rank).
+uint64_t PercentileUs(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t rank = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct ThreadResult {
+  std::vector<uint64_t> latencies_us;  // successful searches only
+  uint64_t ok = 0;
+  uint64_t busy = 0;
+  uint64_t timeout = 0;
+  uint64_t other_errors = 0;  // protocol/transport — must be zero
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vdt;
+  using Clock = std::chrono::steady_clock;
+
+  const auto threads = static_cast<size_t>(FlagInt(argc, argv, "threads", 4));
+  const double qps = static_cast<double>(FlagInt(argc, argv, "qps", 2000));
+  const auto seconds = static_cast<double>(FlagInt(argc, argv, "seconds", 3));
+  const auto rows = static_cast<size_t>(FlagInt(argc, argv, "rows", 20000));
+  const auto dim = static_cast<size_t>(FlagInt(argc, argv, "dim", 32));
+  const auto shards = static_cast<int>(FlagInt(argc, argv, "shards", 2));
+  const auto k = static_cast<size_t>(FlagInt(argc, argv, "k", 10));
+
+  std::printf("=== Extension: network serving dataplane ===\n");
+  std::printf("%zu client threads, %.0f QPS target, %.1fs, %zu rows x %zu-d, "
+              "%d shards, k=%zu\n",
+              threads, qps, seconds, rows, dim, shards, k);
+
+  // Engine + one IVF collection, seeded and flushed before serving starts.
+  VdmsEngine engine;
+  CollectionOptions copts;
+  copts.name = "bench";
+  copts.scale.actual_rows = rows;
+  copts.system.num_shards = shards;
+  copts.index.type = IndexType::kIvfFlat;
+  if (Status st = engine.CreateCollection(copts); !st.ok()) {
+    std::fprintf(stderr, "create: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Rng rng(29);
+  FloatMatrix data(rows, dim);
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = data.Row(r);
+    for (size_t d = 0; d < dim; ++d) row[d] = static_cast<float>(rng.Normal());
+    NormalizeVector(row, dim);
+  }
+  if (Status st = engine.Insert("bench", data); !st.ok()) {
+    std::fprintf(stderr, "insert: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = engine.Flush("bench"); !st.ok()) {
+    std::fprintf(stderr, "flush: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  net::ServerOptions soptions;
+  soptions.num_workers = static_cast<size_t>(FlagInt(argc, argv, "workers", 4));
+  soptions.request_timeout_ms =
+      static_cast<int>(FlagInt(argc, argv, "timeout-ms", 0));
+  soptions.queue_depth = 256;
+  net::VdtServer server(&engine, soptions);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Each thread owns a query pool (drawn from the dataset with noise) and a
+  // fixed send schedule at qps/threads.
+  const double per_thread_qps = qps / static_cast<double>(threads);
+  const auto interval_ns = static_cast<int64_t>(1e9 / per_thread_qps);
+  const auto total_per_thread = static_cast<size_t>(per_thread_qps * seconds);
+  std::vector<ThreadResult> results(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const auto start = Clock::now() + std::chrono::milliseconds(50);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadResult& res = results[t];
+      net::VdtClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        res.other_errors = 1;
+        return;
+      }
+      Rng thread_rng(1000 + t);
+      FloatMatrix queries(32, dim);
+      for (size_t q = 0; q < queries.rows(); ++q) {
+        const float* base =
+            data.Row(thread_rng.UniformInt(static_cast<uint64_t>(rows)));
+        float* row = queries.Row(q);
+        for (size_t d = 0; d < dim; ++d) {
+          row[d] = base[d] + 0.05f * static_cast<float>(thread_rng.Normal());
+        }
+      }
+      res.latencies_us.reserve(total_per_thread);
+      for (size_t i = 0; i < total_per_thread; ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::nanoseconds(interval_ns * static_cast<int64_t>(i)));
+        SearchRequest request = SearchRequest::Single(
+            queries.Row(i % queries.rows()), dim, k);
+        const auto sent = Clock::now();
+        const auto reply = client.Search("bench", request);
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            Clock::now() - sent)
+                            .count();
+        if (reply.ok()) {
+          ++res.ok;
+          res.latencies_us.push_back(static_cast<uint64_t>(us));
+        } else if (reply.status().code() == StatusCode::kResourceExhausted) {
+          ++res.busy;  // load shedding, not a protocol failure
+        } else if (reply.status().code() == StatusCode::kTimeout) {
+          ++res.timeout;
+        } else {
+          ++res.other_errors;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Fold the per-thread samples and report exact client-side percentiles.
+  ThreadResult total;
+  for (const auto& res : results) {
+    total.ok += res.ok;
+    total.busy += res.busy;
+    total.timeout += res.timeout;
+    total.other_errors += res.other_errors;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              res.latencies_us.begin(),
+                              res.latencies_us.end());
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  const double achieved =
+      static_cast<double>(total.ok) / (seconds > 0 ? seconds : 1.0);
+
+  TablePrinter table({"view", "count", "p50_us", "p95_us", "p99_us"});
+  table.Row()
+      .Cell("client (exact)")
+      .Cell(static_cast<double>(total.ok), 0)
+      .Cell(static_cast<double>(PercentileUs(total.latencies_us, 0.50)), 0)
+      .Cell(static_cast<double>(PercentileUs(total.latencies_us, 0.95)), 0)
+      .Cell(static_cast<double>(PercentileUs(total.latencies_us, 0.99)), 0);
+
+  // The server's own view via the Stats op (log-bucket percentiles).
+  net::VdtClient stats_client;
+  uint64_t server_protocol_errors = 0;
+  if (stats_client.Connect("127.0.0.1", server.port()).ok()) {
+    const auto stats = stats_client.Stats("bench");
+    if (stats.ok()) {
+      const auto& search_ep =
+          stats->endpoints[static_cast<int>(net::Op::kSearch) - 1];
+      table.Row()
+          .Cell("server (stats op)")
+          .Cell(static_cast<double>(search_ep.count), 0)
+          .Cell(static_cast<double>(search_ep.p50_us), 0)
+          .Cell(static_cast<double>(search_ep.p95_us), 0)
+          .Cell(static_cast<double>(search_ep.p99_us), 0);
+      server_protocol_errors = stats->protocol_errors;
+    }
+  }
+  table.Print();
+
+  std::printf("achieved %.0f QPS of %.0f target; ok=%llu busy=%llu "
+              "timeout=%llu transport-errors=%llu server-protocol-errors=%llu\n",
+              achieved, qps, static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.busy),
+              static_cast<unsigned long long>(total.timeout),
+              static_cast<unsigned long long>(total.other_errors),
+              static_cast<unsigned long long>(server_protocol_errors));
+  server.Stop();
+
+  if (total.other_errors != 0 || server_protocol_errors != 0) {
+    std::fprintf(stderr, "FAIL: protocol/transport errors in a healthy run\n");
+    return 1;
+  }
+  if (total.ok == 0) {
+    std::fprintf(stderr, "FAIL: no successful searches\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Bounded single-producer/single-consumer queue: the dataplane hand-off
+// between the server's dispatcher thread (producer) and one worker thread
+// (consumer). The fast path is a lock-free ring — TryPush/TryPop touch only
+// two atomics — while BlockingPop parks the consumer on a condition variable
+// when the ring is empty, so idle workers cost nothing.
+//
+// Contract:
+//  - Exactly one thread calls TryPush, and exactly one thread calls
+//    TryPop/BlockingPop. (Different threads are fine; that is the point.)
+//  - Shutdown() may be called from any thread, once. After it, the producer
+//    must not push again; the consumer keeps draining queued items and
+//    BlockingPop returns false only when the queue is empty *and* shut down
+//    — so shutdown never drops accepted work (the server's graceful-drain
+//    guarantee rides on this).
+#ifndef VDTUNER_COMMON_SPSC_QUEUE_H_
+#define VDTUNER_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace vdt {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// A queue holding at most `capacity` items (>= 1 enforced).
+  explicit SpscQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity), slots_(capacity_ + 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Enqueues `item`; returns false (item untouched beyond the move-from
+  /// attempt never happening) when the queue is full. Producer thread only.
+  bool TryPush(T item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t next = Next(tail);
+    if (next == head_.load(std::memory_order_acquire)) return false;  // full
+    slots_[tail] = std::move(item);
+    tail_.store(next, std::memory_order_release);
+    // Pairs with the empty-check-then-wait in BlockingPop: taking the mutex
+    // here (even empty) means the consumer cannot miss this push between its
+    // last TryPop and its cv wait.
+    { std::lock_guard<std::mutex> lock(mu_); }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeues into `*out`; returns false when empty. Consumer thread only.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;  // empty
+    *out = std::move(slots_[head]);
+    head_.store(Next(head), std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues into `*out`, blocking while the queue is empty. Returns false
+  /// only after Shutdown() once every queued item has been drained.
+  /// Consumer thread only.
+  bool BlockingPop(T* out) {
+    while (true) {
+      if (TryPop(out)) return true;
+      std::unique_lock<std::mutex> lock(mu_);
+      if (TryPop(out)) return true;
+      if (shutdown_.load(std::memory_order_acquire)) return TryPop(out);
+      cv_.wait(lock);
+    }
+  }
+
+  /// Wakes any blocked consumer. Idempotent; callable from any thread. The
+  /// producer must not TryPush after this.
+  void Shutdown() {
+    shutdown_.store(true, std::memory_order_release);
+    { std::lock_guard<std::mutex> lock(mu_); }
+    cv_.notify_all();
+  }
+
+  bool shut_down() const { return shutdown_.load(std::memory_order_acquire); }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Racy size estimate (exact when producer and consumer are quiescent).
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : tail + slots_.size() - head;
+  }
+
+ private:
+  size_t Next(size_t i) const { return i + 1 == slots_.size() ? 0 : i + 1; }
+
+  const size_t capacity_;
+  /// Ring with one spare slot so full (next(tail) == head) and empty
+  /// (head == tail) are distinguishable without a counter.
+  std::vector<T> slots_;
+  std::atomic<size_t> head_{0};  // consumer-owned
+  std::atomic<size_t> tail_{0};  // producer-owned
+  std::atomic<bool> shutdown_{false};
+
+  /// Guards nothing but the sleep/wake protocol of BlockingPop.
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace vdt
+
+#endif  // VDTUNER_COMMON_SPSC_QUEUE_H_

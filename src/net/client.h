@@ -1,0 +1,75 @@
+// VdtClient: a blocking TCP client for the vdt wire protocol — one
+// connection, one request in flight at a time. This is the client the
+// loopback tests use to prove wire-vs-in-process parity and the one
+// bench/ext_serving.cc drives from N threads (one client per thread; a
+// client instance is NOT thread-safe).
+//
+// Server-side typed errors (BUSY admission rejections, request timeouts,
+// NotFound collections, malformed-request rejections) come back as the
+// equivalent Status — same code, same message — so callers branch on
+// StatusCode exactly as they would against the in-process engine.
+#ifndef VDTUNER_NET_CLIENT_H_
+#define VDTUNER_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "vdms/api.h"
+
+namespace vdt {
+namespace net {
+
+class VdtClient {
+ public:
+  VdtClient() = default;
+  ~VdtClient();  // closes the connection
+
+  VdtClient(const VdtClient&) = delete;
+  VdtClient& operator=(const VdtClient&) = delete;
+
+  /// Connects to `host:port` (numeric IPv4, e.g. "127.0.0.1").
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trips an empty Ping frame (liveness + protocol handshake check).
+  Status Ping();
+
+  /// Executes `request` against `collection` on the server. Uses the typed
+  /// SearchRequest fields that cross the wire: the query batch, k, and the
+  /// per-request knob override (nprobe/ef/reorder_k when request.params is
+  /// set). A request carrying an IdFilter is rejected client-side —
+  /// predicates don't serialize.
+  Result<SearchReplyWire> Search(const std::string& collection,
+                                 const SearchRequest& request);
+
+  /// Inserts `rows`; returns the collection's total_rows after the insert.
+  Result<uint64_t> Insert(const std::string& collection,
+                          const FloatMatrix& rows);
+
+  /// Tombstones `ids`; returns the newly-deleted count.
+  Result<uint64_t> Delete(const std::string& collection,
+                          const std::vector<int64_t>& ids);
+
+  /// Server dataplane counters + per-endpoint latency percentiles, plus the
+  /// collection section when `collection` is non-empty.
+  Result<StatsReplyWire> Stats(const std::string& collection = "");
+
+ private:
+  /// Sends one frame and blocks for its reply (request ids must match).
+  /// An error-op reply is decoded and returned as its Status.
+  Result<std::pair<FrameHeader, std::vector<uint8_t>>> Roundtrip(
+      Op op, const std::vector<uint8_t>& payload);
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace vdt
+
+#endif  // VDTUNER_NET_CLIENT_H_

@@ -1,0 +1,96 @@
+// Server-side request accounting: lock-free log-bucket latency histograms
+// (one per endpoint) plus the dataplane counters the Stats op surfaces.
+// Everything here is written from worker/dispatcher threads with relaxed
+// atomics — recording a sample is two fetch_adds — and read by the Stats
+// handler without stopping the world, so the percentiles are a consistent-
+// enough snapshot, not an exact one.
+#ifndef VDTUNER_NET_NET_STATS_H_
+#define VDTUNER_NET_NET_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace vdt {
+namespace net {
+
+/// Fixed-footprint latency histogram over microsecond samples. Values 0..15
+/// get exact buckets; above that each power-of-two octave splits into 8
+/// sub-buckets, so a reported percentile is at most 12.5% below the true
+/// value (percentiles return the bucket's lower bound). 512 atomic counters
+/// cover the full u64 range — no allocation, no locking, no sample loss.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t us) {
+    counts_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return total_.load(std::memory_order_relaxed); }
+
+  /// The latency at quantile `p` in [0, 1] (lower bucket bound); 0 when no
+  /// samples have been recorded.
+  uint64_t Percentile(double p) const {
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    uint64_t total = 0;
+    std::array<uint64_t, kBuckets> snap;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      snap[b] = counts_[b].load(std::memory_order_relaxed);
+      total += snap[b];
+    }
+    if (total == 0) return 0;
+    // Rank of the percentile sample, 1-based; p=0 -> first sample.
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += snap[b];
+      if (seen >= rank) return BucketLower(b);
+    }
+    return BucketLower(kBuckets - 1);
+  }
+
+  static size_t BucketOf(uint64_t us) {
+    if (us < 16) return static_cast<size_t>(us);
+    const int msb = 63 - std::countl_zero(us);  // >= 4
+    const size_t sub = static_cast<size_t>((us >> (msb - 3)) & 7);
+    return 16 + static_cast<size_t>(msb - 4) * 8 + sub;
+  }
+
+  static uint64_t BucketLower(size_t bucket) {
+    if (bucket < 16) return bucket;
+    const size_t msb = 4 + (bucket - 16) / 8;
+    const uint64_t sub = (bucket - 16) % 8;
+    return (uint64_t{1} << msb) + (sub << (msb - 3));
+  }
+
+  /// 16 exact + 60 octaves * 8 sub-buckets = 496, padded for safety.
+  static constexpr size_t kBuckets = 512;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> total_{0};
+};
+
+/// Dataplane counters (all relaxed; exactness is not load-bearing).
+struct ServerCounters {
+  std::atomic<uint64_t> accepted_connections{0};
+  /// Requests answered with a non-error reply.
+  std::atomic<uint64_t> requests_ok{0};
+  /// Admission control: frames rejected with BUSY because the target
+  /// worker's queue was full.
+  std::atomic<uint64_t> busy_rejected{0};
+  /// Requests whose deadline expired before a worker picked them up.
+  std::atomic<uint64_t> timed_out{0};
+  /// Malformed frames / bad version / bad op / undecodable payloads.
+  std::atomic<uint64_t> protocol_errors{0};
+};
+
+}  // namespace net
+}  // namespace vdt
+
+#endif  // VDTUNER_NET_NET_STATS_H_

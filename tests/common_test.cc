@@ -1,16 +1,20 @@
 // Unit tests for src/common: Status/Result, Rng, ThreadPool, TablePrinter,
-// env helpers, FloatMatrix.
+// env helpers, FloatMatrix, SpscQueue.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <set>
+#include <thread>
 
 #include "common/env.h"
 #include "common/float_matrix.h"
 #include "common/parallel_executor.h"
 #include "common/random.h"
+#include "common/spsc_queue.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -270,6 +274,136 @@ TEST(FloatMatrixTest, AppendAndSlice) {
 TEST(FloatMatrixTest, MemoryBytes) {
   FloatMatrix m(10, 4);
   EXPECT_EQ(m.MemoryBytes(), 10u * 4u * sizeof(float));
+}
+
+TEST(SpscQueueTest, SingleItemRoundTrip) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_EQ(q.SizeApprox(), 0u);
+  int out = 0;
+  EXPECT_FALSE(q.TryPop(&out));  // empty
+  EXPECT_TRUE(q.TryPush(42));
+  EXPECT_EQ(q.SizeApprox(), 1u);
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+TEST(SpscQueueTest, FullAndEmptyEdges) {
+  SpscQueue<int> q(3);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_FALSE(q.TryPush(4));  // full: admission control's signal
+  EXPECT_EQ(q.SizeApprox(), 3u);
+  int out = 0;
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 1);           // FIFO
+  EXPECT_TRUE(q.TryPush(4));   // one slot freed
+  EXPECT_FALSE(q.TryPush(5));  // full again
+  for (int want : {2, 3, 4}) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_FALSE(q.TryPop(&out));
+  // Zero capacity is clamped to 1, never a zero-slot ring.
+  SpscQueue<int> tiny(0);
+  EXPECT_EQ(tiny.capacity(), 1u);
+  EXPECT_TRUE(tiny.TryPush(7));
+  EXPECT_FALSE(tiny.TryPush(8));
+}
+
+TEST(SpscQueueTest, WraparoundPreservesOrder) {
+  // Push/pop far more items than slots so head/tail lap the ring many
+  // times; order and values must survive every wrap.
+  SpscQueue<int> q(5);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (q.TryPush(next_push)) ++next_push;
+    int out = -1;
+    while (q.TryPop(&out)) {
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_GE(next_pop, 500);
+}
+
+TEST(SpscQueueTest, MoveOnlyItems) {
+  SpscQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.TryPush(std::make_unique<int>(9)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 9);
+}
+
+TEST(SpscQueueTest, ProducerConsumerThreadsStream) {
+  // One producer, one consumer, a queue much smaller than the stream: the
+  // consumer must see exactly 0..n-1 in order through every full/empty
+  // transition. (This is the dispatcher->worker hand-off in miniature.)
+  constexpr int kItems = 20000;
+  SpscQueue<int> q(8);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!q.TryPush(i)) std::this_thread::yield();
+    }
+    q.Shutdown();
+  });
+  int expected = 0;
+  int out = -1;
+  while (q.BlockingPop(&out)) {
+    ASSERT_EQ(out, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+  EXPECT_TRUE(q.shut_down());
+}
+
+TEST(SpscQueueTest, BlockingPopWakesOnPush) {
+  SpscQueue<int> q(2);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    int out = 0;
+    if (q.BlockingPop(&out) && out == 5) got.store(true);
+  });
+  // Give the consumer time to actually park on the cv before the push.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.TryPush(5));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(SpscQueueTest, ShutdownDrainsBeforeReturningFalse) {
+  // The graceful-drain contract: items queued before Shutdown() are still
+  // delivered; only then does BlockingPop return false.
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  q.Shutdown();
+  int out = 0;
+  EXPECT_TRUE(q.BlockingPop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.BlockingPop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.BlockingPop(&out));
+  EXPECT_FALSE(q.BlockingPop(&out));  // stays false once drained
+}
+
+TEST(SpscQueueTest, ShutdownUnblocksParkedConsumer) {
+  SpscQueue<int> q(2);
+  std::atomic<bool> returned_false{false};
+  std::thread consumer([&] {
+    int out = 0;
+    if (!q.BlockingPop(&out)) returned_false.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Shutdown();  // empty queue: the parked consumer must wake and exit
+  consumer.join();
+  EXPECT_TRUE(returned_false.load());
 }
 
 }  // namespace

@@ -682,6 +682,35 @@ TEST(VdmsEngineTest, SingleRequestWithNullQueryIsEmptyNotUB) {
   EXPECT_TRUE(response->neighbors.empty());
 }
 
+TEST(VdmsEngineTest, EmptyQueryBatchWithPositiveKIsEmptyResponse) {
+  // Regression pin: k > 0 with a zero-row query batch must yield an OK,
+  // zero-slot response — not an assert and not an error. The serving layer
+  // relies on this (an empty wire batch is a valid request), including on
+  // sharded collections where the scatter would otherwise fan out nothing.
+  VdmsEngine engine;
+  auto opts = SmallOptions(120);
+  opts.name = "emptyq";
+  opts.system.num_shards = 3;
+  ASSERT_TRUE(engine.CreateCollection(opts).ok());
+  ASSERT_TRUE(engine.Insert("emptyq", RandomMatrix(120, 16, 73)).ok());
+  ASSERT_TRUE(engine.Flush("emptyq").ok());
+
+  SearchRequest request = SearchRequest::Batch(FloatMatrix(0, 16), 5);
+  const auto response = engine.Search("emptyq", request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->neighbors.empty());
+  EXPECT_TRUE(response->query_work.empty());
+  EXPECT_EQ(response->work.Total(), 0u);
+  // Snapshot stats still describe the collection the request saw.
+  EXPECT_EQ(response->stats.total_rows, 120u);
+
+  // Same contract with a dimension-less empty matrix (the default value).
+  const auto degenerate =
+      engine.Search("emptyq", SearchRequest::Batch(FloatMatrix(), 5));
+  ASSERT_TRUE(degenerate.ok());
+  EXPECT_TRUE(degenerate->neighbors.empty());
+}
+
 TEST(VdmsEngineTest, DeleteAndCompactPassThrough) {
   VdmsEngine engine;
   auto opts = LifecycleOptions(300, /*compaction_ratio=*/0.2);
