@@ -9,7 +9,18 @@
 //
 //   ext_serving [--threads=4] [--qps=2000] [--seconds=3] [--rows=20000]
 //               [--dim=32] [--shards=2] [--k=10] [--workers=4]
-//               [--timeout-ms=0]
+//               [--timeout-ms=0] [--coalesce-max=32]
+//               [--coalesce-window-us=0] [--compare-coalesce=0]
+//
+// --compare-coalesce=1 runs the identical workload twice — once with
+// coalescing off (--coalesce-max=1) and once with the given coalescing
+// settings — and prints both runs side by side (achieved QPS, shed load,
+// percentiles, batch-size stats), making the coalescing win measurable at
+// equal worker count. Either run's protocol errors fail the bench.
+// Note the closed-loop caveat: these paced clients stop sending while their
+// request is in flight, so a non-zero --coalesce-window-us only burns idle
+// time here (every in-flight request is already in the batch); the window
+// pays off under open-loop load. Keep it 0 for apples-to-apples QPS.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -54,73 +65,40 @@ struct ThreadResult {
   uint64_t other_errors = 0;  // protocol/transport — must be zero
 };
 
-}  // namespace
+struct DriveConfig {
+  size_t threads = 4;
+  double qps = 2000;
+  double seconds = 3;
+  size_t dim = 32;
+  size_t rows = 20000;
+  size_t k = 10;
+};
 
-int main(int argc, char** argv) {
+struct RunReport {
+  ThreadResult total;           // folded, latencies sorted
+  double elapsed_seconds = 0;   // actual wall time of the drive
+  double achieved_qps = 0;      // ok / elapsed — honest under saturation
+  vdt::net::StatsReplyWire server_stats;
+  bool server_stats_ok = false;
+};
+
+/// One full open-loop drive of `server` (already started) by
+/// `config.threads` clients; the caller owns server lifetime.
+RunReport Drive(const vdt::FloatMatrix& data, const DriveConfig& config,
+                vdt::net::VdtServer& server) {
   using namespace vdt;
   using Clock = std::chrono::steady_clock;
 
-  const auto threads = static_cast<size_t>(FlagInt(argc, argv, "threads", 4));
-  const double qps = static_cast<double>(FlagInt(argc, argv, "qps", 2000));
-  const auto seconds = static_cast<double>(FlagInt(argc, argv, "seconds", 3));
-  const auto rows = static_cast<size_t>(FlagInt(argc, argv, "rows", 20000));
-  const auto dim = static_cast<size_t>(FlagInt(argc, argv, "dim", 32));
-  const auto shards = static_cast<int>(FlagInt(argc, argv, "shards", 2));
-  const auto k = static_cast<size_t>(FlagInt(argc, argv, "k", 10));
-
-  std::printf("=== Extension: network serving dataplane ===\n");
-  std::printf("%zu client threads, %.0f QPS target, %.1fs, %zu rows x %zu-d, "
-              "%d shards, k=%zu\n",
-              threads, qps, seconds, rows, dim, shards, k);
-
-  // Engine + one IVF collection, seeded and flushed before serving starts.
-  VdmsEngine engine;
-  CollectionOptions copts;
-  copts.name = "bench";
-  copts.scale.actual_rows = rows;
-  copts.system.num_shards = shards;
-  copts.index.type = IndexType::kIvfFlat;
-  if (Status st = engine.CreateCollection(copts); !st.ok()) {
-    std::fprintf(stderr, "create: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  Rng rng(29);
-  FloatMatrix data(rows, dim);
-  for (size_t r = 0; r < rows; ++r) {
-    float* row = data.Row(r);
-    for (size_t d = 0; d < dim; ++d) row[d] = static_cast<float>(rng.Normal());
-    NormalizeVector(row, dim);
-  }
-  if (Status st = engine.Insert("bench", data); !st.ok()) {
-    std::fprintf(stderr, "insert: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (Status st = engine.Flush("bench"); !st.ok()) {
-    std::fprintf(stderr, "flush: %s\n", st.ToString().c_str());
-    return 1;
-  }
-
-  net::ServerOptions soptions;
-  soptions.num_workers = static_cast<size_t>(FlagInt(argc, argv, "workers", 4));
-  soptions.request_timeout_ms =
-      static_cast<int>(FlagInt(argc, argv, "timeout-ms", 0));
-  soptions.queue_depth = 256;
-  net::VdtServer server(&engine, soptions);
-  if (Status st = server.Start(); !st.ok()) {
-    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
-    return 1;
-  }
-
-  // Each thread owns a query pool (drawn from the dataset with noise) and a
-  // fixed send schedule at qps/threads.
-  const double per_thread_qps = qps / static_cast<double>(threads);
+  const double per_thread_qps =
+      config.qps / static_cast<double>(config.threads);
   const auto interval_ns = static_cast<int64_t>(1e9 / per_thread_qps);
-  const auto total_per_thread = static_cast<size_t>(per_thread_qps * seconds);
-  std::vector<ThreadResult> results(threads);
+  const auto total_per_thread =
+      static_cast<size_t>(per_thread_qps * config.seconds);
+  std::vector<ThreadResult> results(config.threads);
   std::vector<std::thread> workers;
-  workers.reserve(threads);
+  workers.reserve(config.threads);
   const auto start = Clock::now() + std::chrono::milliseconds(50);
-  for (size_t t = 0; t < threads; ++t) {
+  for (size_t t = 0; t < config.threads; ++t) {
     workers.emplace_back([&, t] {
       ThreadResult& res = results[t];
       net::VdtClient client;
@@ -129,12 +107,12 @@ int main(int argc, char** argv) {
         return;
       }
       Rng thread_rng(1000 + t);
-      FloatMatrix queries(32, dim);
+      FloatMatrix queries(32, config.dim);
       for (size_t q = 0; q < queries.rows(); ++q) {
         const float* base =
-            data.Row(thread_rng.UniformInt(static_cast<uint64_t>(rows)));
+            data.Row(thread_rng.UniformInt(static_cast<uint64_t>(config.rows)));
         float* row = queries.Row(q);
-        for (size_t d = 0; d < dim; ++d) {
+        for (size_t d = 0; d < config.dim; ++d) {
           row[d] = base[d] + 0.05f * static_cast<float>(thread_rng.Normal());
         }
       }
@@ -143,7 +121,7 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_until(
             start + std::chrono::nanoseconds(interval_ns * static_cast<int64_t>(i)));
         SearchRequest request = SearchRequest::Single(
-            queries.Row(i % queries.rows()), dim, k);
+            queries.Row(i % queries.rows()), config.dim, config.k);
         const auto sent = Clock::now();
         const auto reply = client.Search("bench", request);
         const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -163,66 +141,184 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& w : workers) w.join();
+  // A saturated server stretches the run past the configured duration (the
+  // open-loop schedule falls behind), so QPS must come from wall time.
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
 
-  // Fold the per-thread samples and report exact client-side percentiles.
-  ThreadResult total;
+  RunReport report;
+  report.elapsed_seconds = elapsed;
   for (const auto& res : results) {
-    total.ok += res.ok;
-    total.busy += res.busy;
-    total.timeout += res.timeout;
-    total.other_errors += res.other_errors;
-    total.latencies_us.insert(total.latencies_us.end(),
-                              res.latencies_us.begin(),
-                              res.latencies_us.end());
+    report.total.ok += res.ok;
+    report.total.busy += res.busy;
+    report.total.timeout += res.timeout;
+    report.total.other_errors += res.other_errors;
+    report.total.latencies_us.insert(report.total.latencies_us.end(),
+                                     res.latencies_us.begin(),
+                                     res.latencies_us.end());
   }
-  std::sort(total.latencies_us.begin(), total.latencies_us.end());
-  const double achieved =
-      static_cast<double>(total.ok) / (seconds > 0 ? seconds : 1.0);
-
-  TablePrinter table({"view", "count", "p50_us", "p95_us", "p99_us"});
-  table.Row()
-      .Cell("client (exact)")
-      .Cell(static_cast<double>(total.ok), 0)
-      .Cell(static_cast<double>(PercentileUs(total.latencies_us, 0.50)), 0)
-      .Cell(static_cast<double>(PercentileUs(total.latencies_us, 0.95)), 0)
-      .Cell(static_cast<double>(PercentileUs(total.latencies_us, 0.99)), 0);
+  std::sort(report.total.latencies_us.begin(), report.total.latencies_us.end());
+  report.achieved_qps =
+      static_cast<double>(report.total.ok) / (elapsed > 0 ? elapsed : 1.0);
 
   // The server's own view via the Stats op (log-bucket percentiles).
   net::VdtClient stats_client;
-  uint64_t server_protocol_errors = 0;
   if (stats_client.Connect("127.0.0.1", server.port()).ok()) {
     const auto stats = stats_client.Stats("bench");
     if (stats.ok()) {
+      report.server_stats = *stats;
+      report.server_stats_ok = true;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vdt;
+
+  DriveConfig config;
+  config.threads = static_cast<size_t>(FlagInt(argc, argv, "threads", 4));
+  config.qps = static_cast<double>(FlagInt(argc, argv, "qps", 2000));
+  config.seconds = static_cast<double>(FlagInt(argc, argv, "seconds", 3));
+  config.rows = static_cast<size_t>(FlagInt(argc, argv, "rows", 20000));
+  config.dim = static_cast<size_t>(FlagInt(argc, argv, "dim", 32));
+  config.k = static_cast<size_t>(FlagInt(argc, argv, "k", 10));
+  const auto shards = static_cast<int>(FlagInt(argc, argv, "shards", 2));
+  const bool compare = FlagInt(argc, argv, "compare-coalesce", 0) != 0;
+
+  net::ServerOptions soptions;
+  soptions.num_workers = static_cast<size_t>(FlagInt(argc, argv, "workers", 4));
+  soptions.request_timeout_ms =
+      static_cast<int>(FlagInt(argc, argv, "timeout-ms", 0));
+  soptions.queue_depth = 256;
+  soptions.coalesce_max =
+      static_cast<size_t>(FlagInt(argc, argv, "coalesce-max", 32));
+  soptions.coalesce_window_us =
+      static_cast<int>(FlagInt(argc, argv, "coalesce-window-us", 0));
+
+  std::printf("=== Extension: network serving dataplane ===\n");
+  std::printf("%zu client threads, %.0f QPS target, %.1fs, %zu rows x %zu-d, "
+              "%d shards, k=%zu, coalesce-max=%zu, window=%dus%s\n",
+              config.threads, config.qps, config.seconds, config.rows,
+              config.dim, shards, config.k, soptions.coalesce_max,
+              soptions.coalesce_window_us,
+              compare ? " (comparing off vs on)" : "");
+
+  // Engine + one IVF collection, seeded and flushed before serving starts.
+  VdmsEngine engine;
+  CollectionOptions copts;
+  copts.name = "bench";
+  copts.scale.actual_rows = config.rows;
+  copts.system.num_shards = shards;
+  copts.index.type = IndexType::kIvfFlat;
+  if (Status st = engine.CreateCollection(copts); !st.ok()) {
+    std::fprintf(stderr, "create: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Rng rng(29);
+  FloatMatrix data(config.rows, config.dim);
+  for (size_t r = 0; r < config.rows; ++r) {
+    float* row = data.Row(r);
+    for (size_t d = 0; d < config.dim; ++d) {
+      row[d] = static_cast<float>(rng.Normal());
+    }
+    NormalizeVector(row, config.dim);
+  }
+  if (Status st = engine.Insert("bench", data); !st.ok()) {
+    std::fprintf(stderr, "insert: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = engine.Flush("bench"); !st.ok()) {
+    std::fprintf(stderr, "flush: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Each mode stands up a fresh server (fresh counters/histograms) on an
+  // ephemeral port against the same read-only engine, so the comparison is
+  // the coalescing knob and nothing else.
+  struct Mode {
+    const char* name;
+    net::ServerOptions soptions;
+  };
+  std::vector<Mode> modes;
+  if (compare) {
+    net::ServerOptions off = soptions;
+    off.coalesce_max = 1;
+    modes.push_back({"coalesce-off", off});
+    modes.push_back({"coalesce-on", soptions});
+  } else {
+    modes.push_back({soptions.coalesce_max > 1 ? "coalesce-on" : "coalesce-off",
+                     soptions});
+  }
+
+  TablePrinter table({"run", "view", "count", "p50_us", "p95_us", "p99_us"});
+  bool failed = false;
+  for (const Mode& mode : modes) {
+    net::ServerOptions run_options = mode.soptions;
+    run_options.port = 0;  // ephemeral; each run binds its own
+    net::VdtServer server(&engine, run_options);
+    if (Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "start (%s): %s\n", mode.name, st.ToString().c_str());
+      return 1;
+    }
+    const RunReport report = Drive(data, config, server);
+    server.Stop();
+
+    table.Row()
+        .Cell(mode.name)
+        .Cell("client (exact)")
+        .Cell(static_cast<double>(report.total.ok), 0)
+        .Cell(static_cast<double>(PercentileUs(report.total.latencies_us, 0.50)), 0)
+        .Cell(static_cast<double>(PercentileUs(report.total.latencies_us, 0.95)), 0)
+        .Cell(static_cast<double>(PercentileUs(report.total.latencies_us, 0.99)), 0);
+    uint64_t server_protocol_errors = 0;
+    if (report.server_stats_ok) {
+      const auto& stats = report.server_stats;
       const auto& search_ep =
-          stats->endpoints[static_cast<int>(net::Op::kSearch) - 1];
+          stats.endpoints[static_cast<int>(net::Op::kSearch) - 1];
       table.Row()
+          .Cell(mode.name)
           .Cell("server (stats op)")
           .Cell(static_cast<double>(search_ep.count), 0)
           .Cell(static_cast<double>(search_ep.p50_us), 0)
           .Cell(static_cast<double>(search_ep.p95_us), 0)
           .Cell(static_cast<double>(search_ep.p99_us), 0);
-      server_protocol_errors = stats->protocol_errors;
+      server_protocol_errors = stats.protocol_errors;
+      std::printf("[%s] achieved %.0f QPS of %.0f target (%.2fs wall); "
+                  "ok=%llu busy=%llu "
+                  "timeout=%llu transport-errors=%llu "
+                  "server-protocol-errors=%llu\n",
+                  mode.name, report.achieved_qps, config.qps,
+                  report.elapsed_seconds,
+                  static_cast<unsigned long long>(report.total.ok),
+                  static_cast<unsigned long long>(report.total.busy),
+                  static_cast<unsigned long long>(report.total.timeout),
+                  static_cast<unsigned long long>(report.total.other_errors),
+                  static_cast<unsigned long long>(server_protocol_errors));
+      std::printf("[%s] coalescing: %llu batches, %llu piggybacked requests, "
+                  "batch-size p50=%llu p95=%llu\n",
+                  mode.name,
+                  static_cast<unsigned long long>(stats.coalesce_batch.count),
+                  static_cast<unsigned long long>(stats.coalesced_requests),
+                  static_cast<unsigned long long>(stats.coalesce_batch.p50_us),
+                  static_cast<unsigned long long>(stats.coalesce_batch.p95_us));
+    }
+    if (report.total.other_errors != 0 || server_protocol_errors != 0) {
+      std::fprintf(stderr,
+                   "FAIL (%s): protocol/transport errors in a healthy run\n",
+                   mode.name);
+      failed = true;
+    }
+    if (report.total.ok == 0) {
+      std::fprintf(stderr, "FAIL (%s): no successful searches\n", mode.name);
+      failed = true;
     }
   }
   table.Print();
 
-  std::printf("achieved %.0f QPS of %.0f target; ok=%llu busy=%llu "
-              "timeout=%llu transport-errors=%llu server-protocol-errors=%llu\n",
-              achieved, qps, static_cast<unsigned long long>(total.ok),
-              static_cast<unsigned long long>(total.busy),
-              static_cast<unsigned long long>(total.timeout),
-              static_cast<unsigned long long>(total.other_errors),
-              static_cast<unsigned long long>(server_protocol_errors));
-  server.Stop();
-
-  if (total.other_errors != 0 || server_protocol_errors != 0) {
-    std::fprintf(stderr, "FAIL: protocol/transport errors in a healthy run\n");
-    return 1;
-  }
-  if (total.ok == 0) {
-    std::fprintf(stderr, "FAIL: no successful searches\n");
-    return 1;
-  }
+  if (failed) return 1;
   std::printf("OK\n");
   return 0;
 }

@@ -16,6 +16,7 @@
 #define VDTUNER_COMMON_SPSC_QUEUE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -69,6 +70,26 @@ class SpscQueue {
       if (TryPop(out)) return true;
       if (shutdown_.load(std::memory_order_acquire)) return TryPop(out);
       cv_.wait(lock);
+    }
+  }
+
+  /// Dequeues into `*out`, blocking until an item arrives, `deadline`
+  /// passes, or the queue is shut down and drained — false on the latter
+  /// two (a final TryPop still claims an item that raced in). The server's
+  /// coalescing window rides on this: a worker waits a bounded extra beat
+  /// for batchable requests without ever sleeping past shutdown.
+  /// Consumer thread only.
+  template <typename Clock, typename Duration>
+  bool BlockingPopUntil(T* out,
+                        const std::chrono::time_point<Clock, Duration>& deadline) {
+    while (true) {
+      if (TryPop(out)) return true;
+      std::unique_lock<std::mutex> lock(mu_);
+      if (TryPop(out)) return true;
+      if (shutdown_.load(std::memory_order_acquire)) return TryPop(out);
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return TryPop(out);
+      }
     }
   }
 

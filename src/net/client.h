@@ -55,8 +55,10 @@ class VdtClient {
   Result<uint64_t> Delete(const std::string& collection,
                           const std::vector<int64_t>& ids);
 
-  /// Server dataplane counters + per-endpoint latency percentiles, plus the
-  /// collection section when `collection` is non-empty.
+  /// Server dataplane counters (ok/error split, busy, timeouts, protocol
+  /// errors), per-endpoint latency percentiles over every terminal reply,
+  /// the coalescing section (piggybacked requests + batch-size summary),
+  /// plus the collection section when `collection` is non-empty.
   Result<StatsReplyWire> Stats(const std::string& collection = "");
 
  private:

@@ -10,13 +10,15 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
 namespace vdt {
 namespace net {
 
-/// Fixed-footprint latency histogram over microsecond samples. Values 0..15
+/// Fixed-footprint log-bucket histogram over u64 samples (latencies in
+/// microseconds; also coalesce batch sizes in requests). Values 0..15
 /// get exact buckets; above that each power-of-two octave splits into 8
 /// sub-buckets, so a reported percentile is at most 12.5% below the true
 /// value (percentiles return the bucket's lower bound). 512 atomic counters
@@ -42,8 +44,11 @@ class LatencyHistogram {
       total += snap[b];
     }
     if (total == 0) return 0;
-    // Rank of the percentile sample, 1-based; p=0 -> first sample.
-    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+    // Ceiling nearest-rank, 1-based; p=0 -> first sample. Truncating here
+    // would understate small-sample percentiles by one bucket (e.g. p95 of
+    // {1us, 100us} would report the 1us bucket: floor(0.95*2) = 1).
+    uint64_t rank =
+        static_cast<uint64_t>(std::ceil(p * static_cast<double>(total)));
     if (rank < 1) rank = 1;
     if (rank > total) rank = total;
     uint64_t seen = 0;
@@ -81,6 +86,11 @@ struct ServerCounters {
   std::atomic<uint64_t> accepted_connections{0};
   /// Requests answered with a non-error reply.
   std::atomic<uint64_t> requests_ok{0};
+  /// Requests on a valid frame answered with a terminal error reply (BUSY
+  /// admission rejections, queue-wait timeouts, undecodable payloads,
+  /// engine errors). busy_rejected and timed_out below are subsets, kept
+  /// so saturation shedding stays distinguishable from serve failures.
+  std::atomic<uint64_t> requests_error{0};
   /// Admission control: frames rejected with BUSY because the target
   /// worker's queue was full.
   std::atomic<uint64_t> busy_rejected{0};
@@ -88,6 +98,9 @@ struct ServerCounters {
   std::atomic<uint64_t> timed_out{0};
   /// Malformed frames / bad version / bad op / undecodable payloads.
   std::atomic<uint64_t> protocol_errors{0};
+  /// Coalescing: Search requests that rode along behind another request in
+  /// one engine batch (sum of batch_size - 1 over coalesced executions).
+  std::atomic<uint64_t> coalesced_requests{0};
 };
 
 }  // namespace net

@@ -396,6 +396,7 @@ std::vector<uint8_t> EncodeStatsReply(const StatsReplyWire& msg) {
   std::vector<uint8_t> out;
   PutU64(&out, msg.accepted_connections);
   PutU64(&out, msg.requests_ok);
+  PutU64(&out, msg.requests_error);
   PutU64(&out, msg.busy_rejected);
   PutU64(&out, msg.timed_out);
   PutU64(&out, msg.protocol_errors);
@@ -405,6 +406,11 @@ std::vector<uint8_t> EncodeStatsReply(const StatsReplyWire& msg) {
     PutU64(&out, e.p95_us);
     PutU64(&out, e.p99_us);
   }
+  PutU64(&out, msg.coalesced_requests);
+  PutU64(&out, msg.coalesce_batch.count);
+  PutU64(&out, msg.coalesce_batch.p50_us);
+  PutU64(&out, msg.coalesce_batch.p95_us);
+  PutU64(&out, msg.coalesce_batch.p99_us);
   PutU8(&out, msg.has_collection ? 1 : 0);
   if (msg.has_collection) {
     PutU64(&out, msg.total_rows);
@@ -421,8 +427,8 @@ Status DecodeStatsReply(const uint8_t* bytes, size_t len, StatsReplyWire* out) {
   Reader r(bytes, len);
   StatsReplyWire msg;
   if (!r.GetU64(&msg.accepted_connections) || !r.GetU64(&msg.requests_ok) ||
-      !r.GetU64(&msg.busy_rejected) || !r.GetU64(&msg.timed_out) ||
-      !r.GetU64(&msg.protocol_errors)) {
+      !r.GetU64(&msg.requests_error) || !r.GetU64(&msg.busy_rejected) ||
+      !r.GetU64(&msg.timed_out) || !r.GetU64(&msg.protocol_errors)) {
     return Malformed("stats reply");
   }
   for (EndpointStatsWire& e : msg.endpoints) {
@@ -430,6 +436,13 @@ Status DecodeStatsReply(const uint8_t* bytes, size_t len, StatsReplyWire* out) {
         !r.GetU64(&e.p99_us)) {
       return Malformed("stats reply");
     }
+  }
+  if (!r.GetU64(&msg.coalesced_requests) ||
+      !r.GetU64(&msg.coalesce_batch.count) ||
+      !r.GetU64(&msg.coalesce_batch.p50_us) ||
+      !r.GetU64(&msg.coalesce_batch.p95_us) ||
+      !r.GetU64(&msg.coalesce_batch.p99_us)) {
+    return Malformed("stats reply");
   }
   uint8_t has_collection;
   if (!r.GetU8(&has_collection)) return Malformed("stats reply");

@@ -34,7 +34,9 @@ namespace net {
 
 inline constexpr uint8_t kMagic0 = 'V';
 inline constexpr uint8_t kMagic1 = 'D';
-inline constexpr uint8_t kProtocolVersion = 1;
+/// v2: the Stats reply gained error-reply accounting (requests_error) and
+/// the coalescing section (coalesced_requests + batch-size summary).
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
 
 /// Replies echo the request op with this bit set; errors use kErrorOp.
@@ -138,8 +140,9 @@ struct StatsRequestWire {
   std::string collection;
 };
 
-/// Latency summary of one endpoint, microseconds (log-bucket approximation,
-/// see LatencyHistogram).
+/// Percentile summary of one log-bucket histogram (see LatencyHistogram):
+/// endpoint latencies in microseconds, or — for the coalescing section —
+/// per-batch request counts (the `_us` suffix then reads as "units").
 struct EndpointStatsWire {
   uint64_t count = 0;
   uint64_t p50_us = 0;
@@ -147,16 +150,26 @@ struct EndpointStatsWire {
   uint64_t p99_us = 0;
 };
 
-/// Stats reply payload: 5 server counters u64, kNumOps endpoint summaries
-/// (4 u64 each, op order ping..stats), has_collection u8, then — when set —
+/// Stats reply payload: 6 server counters u64 (accepted, ok, error, busy,
+/// timed_out, protocol_errors), kNumOps endpoint summaries (4 u64 each, op
+/// order ping..stats; terminal error replies are recorded too, so served
+/// percentiles stay honest under saturation), coalesced_requests u64 + the
+/// coalesce batch-size summary (4 u64; count = batches executed by the
+/// coalesce path, including size-1), has_collection u8, then — when set —
 /// 6 collection counters u64.
 struct StatsReplyWire {
   uint64_t accepted_connections = 0;
   uint64_t requests_ok = 0;
+  uint64_t requests_error = 0;
   uint64_t busy_rejected = 0;
   uint64_t timed_out = 0;
   uint64_t protocol_errors = 0;
   EndpointStatsWire endpoints[kNumOps];
+
+  /// Coalescing: requests served as a non-head member of a batch, and the
+  /// per-batch request-count distribution (count = coalesce executions).
+  uint64_t coalesced_requests = 0;
+  EndpointStatsWire coalesce_batch;
 
   bool has_collection = false;
   uint64_t total_rows = 0;

@@ -146,6 +146,13 @@ Status VdtServer::Start() {
   VDT_LOG(kInfo) << "vdt_server listening on 127.0.0.1:" << port_ << " ("
                  << num_workers << " workers, queue depth "
                  << (options_.queue_depth < 1 ? 1 : options_.queue_depth)
+                 << ", coalesce "
+                 << (options_.coalesce_max > 1
+                         ? "<=" + std::to_string(options_.coalesce_max) +
+                               " queries / " +
+                               std::to_string(options_.coalesce_window_us) +
+                               "us window"
+                         : std::string("off"))
                  << ")";
   return Status::OK();
 }
@@ -297,8 +304,10 @@ void VdtServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
   // BUSY now, not more queueing.
   const size_t worker = next_worker_;
   next_worker_ = (next_worker_ + 1) % queues_.size();
+  const auto enqueued = item.enqueued;
   if (!queues_[worker]->TryPush(std::move(item))) {
     counters_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
+    RecordReply(header.op, enqueued, /*ok=*/false);
     SendError(conn, header.request_id,
               Status::ResourceExhausted(
                   "server busy: worker queue full (depth " +
@@ -308,33 +317,199 @@ void VdtServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
 
 void VdtServer::WorkerLoop(size_t worker_index) {
   SpscQueue<WorkItem>& queue = *queues_[worker_index];
-  WorkItem item;
-  while (queue.BlockingPop(&item)) {
-    ServeRequest(item);
-    item = WorkItem();  // drop the connection reference before blocking
+  const bool coalesce = options_.coalesce_max > 1;
+  // A batch breaker popped by the coalescing drain is served on the next
+  // iteration (it may itself head a new batch).
+  std::optional<WorkItem> pending;
+  while (true) {
+    WorkItem item;
+    if (pending.has_value()) {
+      item = std::move(*pending);
+      pending.reset();
+    } else if (!queue.BlockingPop(&item)) {
+      break;  // shut down and drained
+    }
+    if (coalesce && static_cast<Op>(item.op) == Op::kSearch) {
+      pending = ServeSearchCoalesced(worker_index, std::move(item));
+    } else {
+      ServeRequest(item);
+    }
   }
 }
 
-void VdtServer::ServeRequest(const WorkItem& item) {
+bool VdtServer::AnswerIfTimedOut(const WorkItem& item) {
+  if (options_.request_timeout_ms <= 0) return false;
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - item.enqueued);
+  if (waited.count() <= options_.request_timeout_ms) return false;
+  counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
+  RecordReply(item.op, item.enqueued, /*ok=*/false);
+  SendError(item.conn, item.request_id,
+            Status::Timeout("request waited " + std::to_string(waited.count()) +
+                            "ms (limit " +
+                            std::to_string(options_.request_timeout_ms) +
+                            "ms)"));
+  return true;
+}
+
+// Accounting runs BEFORE the reply bytes hit the socket at every call site:
+// a client that has read its reply must observe the updated counters and
+// histograms (the loopback tests rely on exactly this ordering).
+void VdtServer::RecordReply(uint8_t op,
+                            std::chrono::steady_clock::time_point enqueued,
+                            bool ok) {
+  (ok ? counters_.requests_ok : counters_.requests_error)
+      .fetch_add(1, std::memory_order_relaxed);
+  const auto latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - enqueued);
+  latency_[op - 1].Record(static_cast<uint64_t>(latency_us.count()));
+}
+
+std::optional<VdtServer::WorkItem> VdtServer::ServeSearchCoalesced(
+    size_t worker_index, WorkItem head) {
   using Clock = std::chrono::steady_clock;
+  SpscQueue<WorkItem>& queue = *queues_[worker_index];
 
   if (options_.worker_delay_for_tests_ms > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.worker_delay_for_tests_ms));
   }
-  if (options_.request_timeout_ms > 0) {
-    const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
-        Clock::now() - item.enqueued);
-    if (waited.count() > options_.request_timeout_ms) {
-      counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
-      SendError(item.conn, item.request_id,
-                Status::Timeout("request waited " +
-                                std::to_string(waited.count()) + "ms (limit " +
-                                std::to_string(options_.request_timeout_ms) +
-                                "ms)"));
-      return;
+  if (AnswerIfTimedOut(head)) return std::nullopt;
+
+  struct Member {
+    WorkItem item;
+    SearchRequestWire wire;
+  };
+  std::vector<Member> batch;
+  {
+    SearchRequestWire wire;
+    const Status st =
+        DecodeSearchRequest(head.payload.data(), head.payload.size(), &wire);
+    if (!st.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      RecordReply(head.op, head.enqueued, /*ok=*/false);
+      SendError(head.conn, head.request_id, st);
+      return std::nullopt;
+    }
+    batch.push_back(Member{std::move(head), std::move(wire)});
+  }
+  // The compatibility key: collection, k, the knob-override triple, and the
+  // query dim (queries must concatenate into one matrix). Copied out of the
+  // head, NOT referenced — batch.push_back below reallocates.
+  SearchRequestWire key = batch.front().wire;
+  key.queries = FloatMatrix();
+  const size_t dim = batch.front().wire.queries.dim();
+  size_t total_queries = batch.front().wire.queries.rows();
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(options_.coalesce_window_us);
+
+  // Greedy drain: pull queued Searches while they stay compatible, up to
+  // coalesce_max total queries; with a window, wait out the remainder of it
+  // for late arrivals once the queue runs dry. Batch breakers: non-Search
+  // ops and incompatible Searches (returned to the worker loop unserved),
+  // expired timeouts and undecodable payloads (answered here, terminal).
+  std::optional<WorkItem> breaker;
+  while (total_queries < options_.coalesce_max) {
+    WorkItem next;
+    if (!queue.TryPop(&next)) {
+      if (options_.coalesce_window_us <= 0 ||
+          !queue.BlockingPopUntil(&next, deadline)) {
+        break;
+      }
+    }
+    if (static_cast<Op>(next.op) != Op::kSearch) {
+      breaker = std::move(next);
+      break;
+    }
+    if (AnswerIfTimedOut(next)) break;
+    SearchRequestWire wire;
+    const Status st =
+        DecodeSearchRequest(next.payload.data(), next.payload.size(), &wire);
+    if (!st.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      RecordReply(next.op, next.enqueued, /*ok=*/false);
+      SendError(next.conn, next.request_id, st);
+      break;
+    }
+    const bool compatible =
+        wire.collection == key.collection && wire.k == key.k &&
+        wire.has_knobs == key.has_knobs &&
+        (!wire.has_knobs ||
+         (wire.nprobe == key.nprobe && wire.ef == key.ef &&
+          wire.reorder_k == key.reorder_k)) &&
+        wire.queries.dim() == dim;
+    if (!compatible) {
+      breaker = std::move(next);
+      break;
+    }
+    total_queries += wire.queries.rows();
+    batch.push_back(Member{std::move(next), std::move(wire)});
+  }
+
+  // One engine execution over the concatenated batch. Per-query neighbor
+  // lists and per-query work counters are independent of batch composition,
+  // and each reply's aggregate is the query-order fold of its own queries'
+  // counters — exactly what a standalone execution would have produced, so
+  // the demuxed replies below are byte-for-byte identical to uncoalesced
+  // serving (serving_test.cc pins this bit-for-bit).
+  SearchRequest request;
+  request.k = key.k;
+  if (key.has_knobs) {
+    IndexParams knobs;
+    knobs.nprobe = key.nprobe;
+    knobs.ef = key.ef;
+    knobs.reorder_k = key.reorder_k;
+    request.params = knobs;
+  }
+  FloatMatrix queries(total_queries, dim);
+  size_t row = 0;
+  for (const Member& m : batch) {
+    for (size_t r = 0; r < m.wire.queries.rows(); ++r) {
+      std::memcpy(queries.Row(row++), m.wire.queries.Row(r),
+                  dim * sizeof(float));
     }
   }
+  request.queries = std::move(queries);
+  const Result<SearchResponse> result =
+      engine_->Search(key.collection, request);
+
+  coalesce_batch_sizes_.Record(batch.size());
+  counters_.coalesced_requests.fetch_add(batch.size() - 1,
+                                         std::memory_order_relaxed);
+
+  if (!result.ok()) {
+    // The whole batch shares one collection, so the failure (e.g. NotFound
+    // racing a Drop) applies to every member identically.
+    for (const Member& m : batch) {
+      RecordReply(m.item.op, m.item.enqueued, /*ok=*/false);
+      SendError(m.item.conn, m.item.request_id, result.status());
+    }
+    return breaker;
+  }
+
+  size_t offset = 0;
+  for (const Member& m : batch) {
+    const size_t nq = m.wire.queries.rows();
+    SearchReplyWire out;
+    out.neighbors.assign(result->neighbors.begin() + offset,
+                         result->neighbors.begin() + offset + nq);
+    for (size_t q = 0; q < nq; ++q) {
+      out.work.Add(result->query_work[offset + q]);
+    }
+    offset += nq;
+    RecordReply(m.item.op, m.item.enqueued, /*ok=*/true);
+    SendReply(m.item.conn, m.item.op | kReplyBit, m.item.request_id,
+              EncodeSearchReply(out));
+  }
+  return breaker;
+}
+
+void VdtServer::ServeRequest(const WorkItem& item) {
+  if (options_.worker_delay_for_tests_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.worker_delay_for_tests_ms));
+  }
+  if (AnswerIfTimedOut(item)) return;
 
   Status error = Status::OK();
   std::vector<uint8_t> reply;
@@ -374,9 +549,19 @@ void VdtServer::ServeRequest(const WorkItem& item) {
       if (!error.ok()) break;
       error = engine_->Insert(wire.collection, wire.rows);
       if (!error.ok()) break;
+      if (options_.post_insert_hook_for_tests) {
+        options_.post_insert_hook_for_tests();
+      }
       const Result<CollectionStats> stats = engine_->GetStats(wire.collection);
+      if (!stats.ok()) {
+        // The insert landed but its stats read lost a race (e.g. with a
+        // concurrent Drop): report that truth as a typed error instead of
+        // fabricating total_rows = 0.
+        error = stats.status();
+        break;
+      }
       reply.resize(8);
-      const uint64_t total = stats.ok() ? stats->total_rows : 0;
+      const uint64_t total = stats->total_rows;
       for (int i = 0; i < 8; ++i) {
         reply[i] = static_cast<uint8_t>(total >> (8 * i));
       }
@@ -420,14 +605,12 @@ void VdtServer::ServeRequest(const WorkItem& item) {
     if (error.code() == StatusCode::kInvalidArgument) {
       counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     }
+    RecordReply(item.op, item.enqueued, /*ok=*/false);
     SendError(item.conn, item.request_id, error);
     return;
   }
+  RecordReply(item.op, item.enqueued, /*ok=*/true);
   SendReply(item.conn, item.op | kReplyBit, item.request_id, reply);
-  counters_.requests_ok.fetch_add(1, std::memory_order_relaxed);
-  const auto latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
-      Clock::now() - item.enqueued);
-  latency_[item.op - 1].Record(static_cast<uint64_t>(latency_us.count()));
 }
 
 Result<StatsReplyWire> VdtServer::BuildStatsReply(
@@ -436,6 +619,8 @@ Result<StatsReplyWire> VdtServer::BuildStatsReply(
   out.accepted_connections =
       counters_.accepted_connections.load(std::memory_order_relaxed);
   out.requests_ok = counters_.requests_ok.load(std::memory_order_relaxed);
+  out.requests_error =
+      counters_.requests_error.load(std::memory_order_relaxed);
   out.busy_rejected = counters_.busy_rejected.load(std::memory_order_relaxed);
   out.timed_out = counters_.timed_out.load(std::memory_order_relaxed);
   out.protocol_errors =
@@ -446,6 +631,12 @@ Result<StatsReplyWire> VdtServer::BuildStatsReply(
     out.endpoints[op].p95_us = latency_[op].Percentile(0.95);
     out.endpoints[op].p99_us = latency_[op].Percentile(0.99);
   }
+  out.coalesced_requests =
+      counters_.coalesced_requests.load(std::memory_order_relaxed);
+  out.coalesce_batch.count = coalesce_batch_sizes_.Count();
+  out.coalesce_batch.p50_us = coalesce_batch_sizes_.Percentile(0.50);
+  out.coalesce_batch.p95_us = coalesce_batch_sizes_.Percentile(0.95);
+  out.coalesce_batch.p99_us = coalesce_batch_sizes_.Percentile(0.99);
   if (!collection.empty()) {
     Result<CollectionStats> stats = engine_->GetStats(collection);
     if (!stats.ok()) return stats.status();

@@ -11,6 +11,16 @@
 //                       |   frame assembly,    Insert / Delete /
 //                       |   admission)         Stats, timeouts)
 //
+// Request coalescing (the serving-throughput lever): a worker that dequeues
+// a Search greedily drains further compatible queued Searches — same
+// collection, k, knob-override triple, and query dim — into one
+// engine_->Search over the concatenated query batch, then demultiplexes
+// per-request neighbor lists and work counters. Per-query results and the
+// query-order counter fold are independent of batch composition, so every
+// demuxed reply is byte-for-byte what uncoalesced execution would have sent.
+// Non-Search ops, incompatible searches, undecodable payloads, and expired
+// per-request timeouts break the batch.
+//
 // Robustness contract:
 //  - Admission control: a full worker queue answers the frame immediately
 //    with a typed BUSY (ResourceExhausted) error — bounded memory, bounded
@@ -36,8 +46,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -72,10 +84,28 @@ struct ServerOptions {
   /// closed).
   uint32_t max_payload_bytes = kMaxPayloadBytes;
 
+  /// Request coalescing: a worker that dequeues a Search greedily drains
+  /// further *compatible* queued Searches (same collection, k, knob-override
+  /// triple, and query dim) and executes them as one engine batch, then
+  /// demultiplexes per-request replies — byte-for-byte identical to
+  /// uncoalesced execution. This caps the total *query* count of one batch;
+  /// <= 1 disables coalescing entirely (the pre-coalescing serve path).
+  size_t coalesce_max = 32;
+
+  /// With coalescing on, a worker whose queue ran dry mid-batch waits up to
+  /// this long (from batch start) for more compatible arrivals before
+  /// executing. 0 = execute immediately after the greedy drain.
+  int coalesce_window_us = 0;
+
   /// Test-only: every worker sleeps this long before serving each request,
   /// making queue saturation (BUSY) and timeout expiry deterministic in the
   /// loopback tests. Keep 0 in real deployments.
   int worker_delay_for_tests_ms = 0;
+
+  /// Test-only: invoked between a successful engine Insert and the stats
+  /// read that prices its reply, making the insert/drop race deterministic
+  /// in tests. Keep unset in real deployments.
+  std::function<void()> post_insert_hook_for_tests;
 };
 
 class VdtServer {
@@ -105,9 +135,16 @@ class VdtServer {
   /// Dataplane counters (live; also surfaced to clients via the Stats op).
   const ServerCounters& counters() const { return counters_; }
 
-  /// Latency histogram of `op` (enqueue-to-reply, successful replies only).
+  /// Latency histogram of `op` (enqueue-to-reply, every terminal reply —
+  /// errors included, so served percentiles stay honest under saturation).
   const LatencyHistogram& latency(Op op) const {
     return latency_[static_cast<size_t>(op) - 1];
+  }
+
+  /// Per-execution batch sizes (in requests, size-1 included) of the
+  /// coalescing path; empty while coalescing is disabled.
+  const LatencyHistogram& coalesce_batch_sizes() const {
+    return coalesce_batch_sizes_;
   }
 
  private:
@@ -132,6 +169,22 @@ class VdtServer {
   void DispatchFrame(const std::shared_ptr<Connection>& conn,
                      const FrameHeader& header, std::vector<uint8_t> payload);
   void ServeRequest(const WorkItem& item);
+
+  /// Coalescing serve path: executes `head` (a Search) plus any compatible
+  /// queued followers as one engine batch and demultiplexes the replies.
+  /// Returns the popped-but-unserved item that broke the batch (non-Search
+  /// op or incompatible Search) for the worker loop to serve next, if any.
+  std::optional<WorkItem> ServeSearchCoalesced(size_t worker_index,
+                                               WorkItem head);
+
+  /// Answers `item` with a typed Timeout error when its queue wait exceeded
+  /// options_.request_timeout_ms; true = the request is terminal.
+  bool AnswerIfTimedOut(const WorkItem& item);
+
+  /// Terminal-reply accounting shared by every serve path: endpoint latency
+  /// (errors included) + the ok/error counter split.
+  void RecordReply(uint8_t op, std::chrono::steady_clock::time_point enqueued,
+                   bool ok);
 
   /// Builds the Stats reply (server section always, collection section when
   /// `collection` is non-empty and exists).
@@ -159,6 +212,7 @@ class VdtServer {
 
   ServerCounters counters_;
   LatencyHistogram latency_[kNumOps];
+  LatencyHistogram coalesce_batch_sizes_;  // per-execution sizes, in requests
 };
 
 }  // namespace net

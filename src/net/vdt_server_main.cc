@@ -3,8 +3,13 @@
 // until SIGINT/SIGTERM (then drains gracefully).
 //
 //   vdt_server [--port=7801] [--workers=4] [--queue-depth=64]
-//              [--timeout-ms=0] [--demo-rows=20000] [--demo-dim=64]
+//              [--timeout-ms=0] [--coalesce-max=32] [--coalesce-window-us=0]
+//              [--demo-rows=20000] [--demo-dim=64]
 //              [--demo-shards=2] [--collection=demo]
+//
+// --coalesce-max bounds the query count of one coalesced Search batch
+// (<= 1 disables coalescing); --coalesce-window-us lets a worker wait that
+// long for more batchable requests once its queue runs dry.
 //
 // --demo-rows=0 starts an empty engine (create collections via the engine
 // API in-process; the wire protocol serves existing collections).
@@ -61,6 +66,10 @@ int main(int argc, char** argv) {
       static_cast<size_t>(FlagInt(argc, argv, "queue-depth", 64));
   options.request_timeout_ms =
       static_cast<int>(FlagInt(argc, argv, "timeout-ms", 0));
+  options.coalesce_max =
+      static_cast<size_t>(FlagInt(argc, argv, "coalesce-max", 32));
+  options.coalesce_window_us =
+      static_cast<int>(FlagInt(argc, argv, "coalesce-window-us", 0));
 
   const int64_t demo_rows = FlagInt(argc, argv, "demo-rows", 20000);
   const int64_t demo_dim = FlagInt(argc, argv, "demo-dim", 64);
@@ -107,8 +116,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("vdt_server listening on 127.0.0.1:%u (%zu workers)\n",
-              server.port(), options.num_workers);
+  if (options.coalesce_max > 1) {
+    std::printf("vdt_server listening on 127.0.0.1:%u (%zu workers, coalesce "
+                "<=%zu queries, %dus window)\n",
+                server.port(), options.num_workers, options.coalesce_max,
+                options.coalesce_window_us);
+  } else {
+    std::printf("vdt_server listening on 127.0.0.1:%u (%zu workers, coalesce "
+                "off)\n",
+                server.port(), options.num_workers);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

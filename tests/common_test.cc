@@ -406,5 +406,71 @@ TEST(SpscQueueTest, ShutdownUnblocksParkedConsumer) {
   EXPECT_TRUE(returned_false.load());
 }
 
+TEST(SpscQueueTest, BlockingPopUntilTimesOutOnEmptyQueue) {
+  // The coalescing window wait: an empty queue returns false once the
+  // deadline passes, without shutting anything down.
+  SpscQueue<int> q(4);
+  int out = 0;
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.BlockingPopUntil(
+      &out, before + std::chrono::milliseconds(30)));
+  EXPECT_GE(std::chrono::steady_clock::now() - before,
+            std::chrono::milliseconds(30));
+  // The queue is still fully usable afterwards.
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 1);
+}
+
+TEST(SpscQueueTest, BlockingPopUntilReturnsEarlyOnArrival) {
+  SpscQueue<int> q(4);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    int out = 0;
+    if (q.BlockingPopUntil(&out, std::chrono::steady_clock::now() +
+                                     std::chrono::seconds(5)) &&
+        out == 9) {
+      got.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.TryPush(9));
+  consumer.join();  // joins in ~20ms, nowhere near the 5s deadline
+  EXPECT_TRUE(got.load());
+}
+
+TEST(SpscQueueTest, BlockingPopUntilHonorsShutdownDrain) {
+  // Same drain contract as BlockingPop: a queued item is delivered even
+  // after Shutdown(), and only an empty shut-down queue returns false —
+  // immediately, not at the deadline.
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(7));
+  q.Shutdown();
+  int out = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  EXPECT_TRUE(q.BlockingPopUntil(&out, deadline));
+  EXPECT_EQ(out, 7);
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.BlockingPopUntil(&out, deadline));
+  EXPECT_LT(std::chrono::steady_clock::now() - before,
+            std::chrono::seconds(2));
+
+  // And a parked waiter is woken by Shutdown() before its deadline.
+  SpscQueue<int> parked(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int item = 0;
+    if (!parked.BlockingPopUntil(&item, std::chrono::steady_clock::now() +
+                                            std::chrono::seconds(5))) {
+      returned.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  parked.Shutdown();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
 }  // namespace
 }  // namespace vdt

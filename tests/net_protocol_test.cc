@@ -2,13 +2,18 @@
 // for every op type, and adversarial decodes — truncated frames, oversized
 // lengths, bad version/op bytes, zero-k, declared-shape/payload mismatches,
 // random bytes — which must all yield a typed error, never a crash or an
-// over-read (this suite runs under ASan/UBSan in CI).
+// over-read (this suite runs under ASan/UBSan in CI). Also pins the
+// LatencyHistogram the Stats op summarizes: exhaustive bucket round-trips
+// over every reachable bucket and the ceiling nearest-rank percentile.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "net/net_stats.h"
 #include "net/protocol.h"
 #include "tests/test_util.h"
 
@@ -182,10 +187,13 @@ TEST(CodecTest, StatsRoundTrip) {
   StatsReplyWire msg;
   msg.accepted_connections = 4;
   msg.requests_ok = 100;
+  msg.requests_error = 9;
   msg.busy_rejected = 3;
   msg.timed_out = 2;
   msg.protocol_errors = 1;
   msg.endpoints[1] = {50, 120, 900, 2100};
+  msg.coalesced_requests = 17;
+  msg.coalesce_batch = {21, 2, 8, 12};
   msg.has_collection = true;
   msg.live_rows = 4096;
   msg.num_shards = 4;
@@ -193,8 +201,13 @@ TEST(CodecTest, StatsRoundTrip) {
   StatsReplyWire out;
   ASSERT_TRUE(DecodeStatsReply(bytes.data(), bytes.size(), &out).ok());
   EXPECT_EQ(out.requests_ok, 100u);
+  EXPECT_EQ(out.requests_error, 9u);
   EXPECT_EQ(out.busy_rejected, 3u);
   EXPECT_EQ(out.endpoints[1].p99_us, 2100u);
+  EXPECT_EQ(out.coalesced_requests, 17u);
+  EXPECT_EQ(out.coalesce_batch.count, 21u);
+  EXPECT_EQ(out.coalesce_batch.p50_us, 2u);
+  EXPECT_EQ(out.coalesce_batch.p99_us, 12u);
   ASSERT_TRUE(out.has_collection);
   EXPECT_EQ(out.live_rows, 4096u);
   EXPECT_EQ(out.num_shards, 4u);
@@ -223,6 +236,106 @@ TEST(CodecTest, ErrorReplyRoundTripAllCodes) {
     EXPECT_EQ(st.code(), code);
     EXPECT_EQ(st.message(), "why it failed");
   }
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketRoundTripExhaustiveAndMonotone) {
+  // Reachable buckets: 16 exact values + 60 octaves (msb 4..63) * 8
+  // sub-buckets = 496; buckets 496..511 are padding no u64 maps to.
+  constexpr size_t kReachable = 496;
+  uint64_t prev_lower = 0;
+  for (size_t b = 0; b < kReachable; ++b) {
+    const uint64_t lower = LatencyHistogram::BucketLower(b);
+    // Each bucket's lower bound maps back to that bucket...
+    ASSERT_EQ(LatencyHistogram::BucketOf(lower), b) << "bucket " << b;
+    // ...bounds are strictly increasing...
+    if (b > 0) {
+      ASSERT_GT(lower, prev_lower) << "bucket " << b;
+    }
+    prev_lower = lower;
+    // ...and the value just below the next bound still lands here, so the
+    // buckets tile the u64 range with no gaps and no overlaps.
+    if (b + 1 < kReachable) {
+      ASSERT_EQ(LatencyHistogram::BucketOf(LatencyHistogram::BucketLower(b + 1) - 1),
+                b)
+          << "bucket " << b;
+    }
+  }
+  EXPECT_EQ(LatencyHistogram::BucketOf(UINT64_MAX), kReachable - 1);
+}
+
+TEST(HistogramTest, BucketBoundaryValues) {
+  // The exact-bucket / octave seam and every power-of-two seam.
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(15), 15u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(16), 16u);
+  EXPECT_EQ(LatencyHistogram::BucketLower(16), 16u);
+  for (int k = 5; k < 64; ++k) {
+    const uint64_t pow = uint64_t{1} << k;
+    EXPECT_LT(LatencyHistogram::BucketOf(pow - 1),
+              LatencyHistogram::BucketOf(pow))
+        << "k=" << k;
+    EXPECT_LE(LatencyHistogram::BucketOf(pow),
+              LatencyHistogram::BucketOf(pow + 1))
+        << "k=" << k;
+    // A power of two opens its octave, so it is its own bucket lower bound.
+    EXPECT_EQ(LatencyHistogram::BucketLower(LatencyHistogram::BucketOf(pow)),
+              pow)
+        << "k=" << k;
+  }
+}
+
+TEST(HistogramTest, BucketOfMonotoneOnRandomPairs) {
+  Rng rng(4207);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.UniformInt(UINT64_MAX);
+    uint64_t b = rng.UniformInt(UINT64_MAX);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(LatencyHistogram::BucketOf(a), LatencyHistogram::BucketOf(b))
+        << a << " vs " << b;
+    // A bucket's lower bound never exceeds the values it holds (this is
+    // what keeps reported percentiles within 12.5% below the true value).
+    EXPECT_LE(LatencyHistogram::BucketLower(LatencyHistogram::BucketOf(b)), b);
+  }
+}
+
+TEST(HistogramTest, PercentileUsesCeilingNearestRank) {
+  // total = 1: every percentile is the one sample.
+  LatencyHistogram one;
+  one.Record(7);
+  EXPECT_EQ(one.Percentile(0.0), 7u);
+  EXPECT_EQ(one.Percentile(0.5), 7u);
+  EXPECT_EQ(one.Percentile(0.95), 7u);
+  EXPECT_EQ(one.Percentile(1.0), 7u);
+
+  // total = 2: p95 must be the SECOND sample — rank ceil(0.95 * 2) = 2. The
+  // old floor-based rank truncated to 1 and reported the 1us bucket.
+  LatencyHistogram two;
+  two.Record(1);
+  two.Record(100);
+  EXPECT_EQ(two.Percentile(0.5), 1u);
+  // 100 lives in the [96, 104) sub-bucket; percentiles report lower bounds.
+  ASSERT_EQ(LatencyHistogram::BucketLower(LatencyHistogram::BucketOf(100)),
+            96u);
+  EXPECT_EQ(two.Percentile(0.95), 96u);
+  EXPECT_EQ(two.Percentile(1.0), 96u);
+
+  // total = 100, split 50/50 across two buckets: rank 50 (p = 0.50 exactly)
+  // is the last sample of the low bucket, rank 51 (any p in (0.50, 0.51])
+  // crosses into the high one. 1000us lives in the [960, 1024) sub-bucket.
+  LatencyHistogram hundred;
+  for (int i = 0; i < 50; ++i) hundred.Record(1);
+  for (int i = 0; i < 50; ++i) hundred.Record(1000);
+  EXPECT_EQ(hundred.Percentile(0.0), 1u);
+  EXPECT_EQ(hundred.Percentile(0.50), 1u);
+  EXPECT_EQ(hundred.Percentile(0.505), 960u);
+  EXPECT_EQ(hundred.Percentile(0.95), 960u);
+  EXPECT_EQ(hundred.Percentile(1.0), 960u);
+
+  // No samples: every percentile is 0.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.Percentile(0.95), 0u);
 }
 
 // -------------------------------------------------------------- adversarial

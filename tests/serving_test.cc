@@ -6,6 +6,12 @@
 // insert/delete/compact (this suite runs under TSan in CI), admission-control
 // BUSY under queue saturation, timeout expiry, malformed frames on raw
 // sockets, and graceful drain-on-shutdown with in-flight requests.
+//
+// The coalescing section pins the batching contract: replies served through
+// the coalescing path are byte-for-byte identical to coalescing-disabled
+// serving and to the in-process engine, batch composition follows the
+// compatibility key (breakers split batches exactly where specified), and
+// error replies land in the same stats as successes.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -416,6 +422,15 @@ TEST(ServingTest, BusyUnderQueueSaturation) {
   EXPECT_GE(ok_count.load(), 1);    // the in-service request always lands
   EXPECT_EQ(server.counters().busy_rejected.load(),
             static_cast<uint64_t>(busy_count.load()));
+  // Every ping got exactly one terminal reply, and every terminal reply —
+  // BUSY included — is priced into the endpoint histogram and the ok/error
+  // counter split.
+  EXPECT_EQ(server.latency(Op::kPing).Count(), static_cast<uint64_t>(kClients));
+  EXPECT_EQ(server.counters().requests_ok.load() +
+                server.counters().requests_error.load(),
+            static_cast<uint64_t>(kClients));
+  EXPECT_EQ(server.counters().requests_error.load(),
+            static_cast<uint64_t>(busy_count.load()));
 
   // BUSY is load shedding, not a failure: the server serves normally after.
   VdtClient client;
@@ -438,6 +453,9 @@ TEST(ServingTest, TimeoutExpiryAnswersTyped) {
   const Status st = client.Ping();
   EXPECT_EQ(st.code(), StatusCode::kTimeout) << st.ToString();
   EXPECT_GE(server.counters().timed_out.load(), 1u);
+  // A timeout is a terminal error reply: counted and priced like any other.
+  EXPECT_GE(server.counters().requests_error.load(), 1u);
+  EXPECT_GE(server.latency(Op::kPing).Count(), 1u);
   server.Stop();
 }
 
@@ -477,6 +495,238 @@ TEST(ServingTest, StopDrainsQueuedRequests) {
   server.Stop();
   VdtClient late;
   EXPECT_FALSE(late.Connect("127.0.0.1", server.port()).ok());
+}
+
+// ------------------------------------------------------------- coalescing
+
+TEST(ServingTest, CoalescedRepliesBitIdenticalAcrossPaths) {
+  VdmsEngine engine;
+  // FLAT across 3 shards and IVF across 2: the bit-parity claim must hold
+  // for exact scatter/gather and probe-bounded search alike.
+  ASSERT_TRUE(
+      engine.CreateCollection(ServingOptions("flat", IndexType::kFlat, 3, 600))
+          .ok());
+  ASSERT_TRUE(
+      engine
+          .CreateCollection(ServingOptions("ivf", IndexType::kIvfFlat, 2, 600))
+          .ok());
+  const FloatMatrix data = ClusteredMatrix(600, 16, 8, 0.3, 181);
+  for (const char* name : {"flat", "ivf"}) {
+    ASSERT_TRUE(engine.Insert(name, data).ok());
+    ASSERT_TRUE(engine.Flush(name).ok());
+  }
+
+  // Coalescing on: a single slow worker, so concurrent requests pile up in
+  // its queue and get batched. Coalescing off: the plain serve path against
+  // the same engine.
+  ServerOptions on;
+  on.num_workers = 1;
+  on.queue_depth = 64;
+  on.coalesce_max = 32;
+  on.worker_delay_for_tests_ms = 40;
+  VdtServer coalesced(&engine, on);
+  ASSERT_TRUE(coalesced.Start().ok());
+  ServerOptions off;
+  off.coalesce_max = 1;
+  VdtServer uncoalesced(&engine, off);
+  ASSERT_TRUE(uncoalesced.Start().ok());
+
+  // 6 threads x 4 rounds of distinct 2-query batches. Threads mix FLAT and
+  // IVF targets and two of them carry a knob override — three different
+  // compatibility keys interleaving in one queue, so batches form AND break
+  // while the parity below is checked on every single reply.
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      VdtClient on_client;
+      VdtClient off_client;
+      ASSERT_TRUE(on_client.Connect("127.0.0.1", coalesced.port()).ok());
+      ASSERT_TRUE(off_client.Connect("127.0.0.1", uncoalesced.port()).ok());
+      const std::string name = (t < 3) ? "flat" : "ivf";
+      for (int r = 0; r < kRounds; ++r) {
+        SearchRequest request =
+            SearchRequest::Batch(RandomMatrix(2, 16, 500 + t * 16 + r), 5);
+        if (t >= 4) {
+          request.params = IndexParams{};
+          request.params->nprobe = 2;
+        }
+        const auto local = engine.Search(name, request);
+        ASSERT_TRUE(local.ok());
+        const auto on_reply = on_client.Search(name, request);
+        ASSERT_TRUE(on_reply.ok()) << on_reply.status().ToString();
+        ExpectWireMatchesLocal(*on_reply, *local);
+        const auto off_reply = off_client.Search(name, request);
+        ASSERT_TRUE(off_reply.ok()) << off_reply.status().ToString();
+        ExpectWireMatchesLocal(*off_reply, *local);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // With one 40ms-per-batch worker and 6 concurrent clients, batching
+  // genuinely happened — the parity assertions above covered coalesced
+  // executions, not 24 accidental batches of one.
+  EXPECT_GE(coalesced.counters().coalesced_requests.load(), 1u);
+  EXPECT_GE(coalesced.coalesce_batch_sizes().Count(), 1u);
+  EXPECT_EQ(uncoalesced.counters().coalesced_requests.load(), 0u);
+  EXPECT_EQ(uncoalesced.coalesce_batch_sizes().Count(), 0u);
+  EXPECT_EQ(coalesced.counters().requests_error.load(), 0u);
+  coalesced.Stop();
+  uncoalesced.Stop();
+}
+
+TEST(ServingTest, CoalesceDrainsCompatibleAndBreaksOnMismatch) {
+  VdmsEngine engine;
+  ASSERT_TRUE(
+      engine
+          .CreateCollection(ServingOptions("c", IndexType::kIvfFlat, 2, 300))
+          .ok());
+  ASSERT_TRUE(engine.Insert("c", ClusteredMatrix(300, 8, 4, 0.3, 77)).ok());
+  ASSERT_TRUE(engine.Flush("c").ok());
+
+  // One worker + a generous window makes batch composition deterministic:
+  // the worker holds each batch open until a breaker arrives (all frames
+  // land within the window) or the window expires.
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_depth = 64;
+  options.coalesce_max = 32;
+  options.coalesce_window_us = 150000;
+  VdtServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const FloatMatrix queries = RandomMatrix(6, 8, 78);
+  auto search_frame = [&](uint32_t id, uint32_t k, size_t begin, size_t end) {
+    SearchRequestWire wire;
+    wire.collection = "c";
+    wire.k = k;
+    wire.queries = queries.Slice(begin, end);
+    std::vector<uint8_t> frame;
+    EncodeFrame(static_cast<uint8_t>(Op::kSearch), id,
+                EncodeSearchRequest(wire), &frame);
+    return frame;
+  };
+
+  // One burst on one connection: ids 1+2 coalesce (k=5), id 3 (k=3) breaks
+  // that batch and heads the next with id 4 (k=3, two queries), the Ping
+  // breaks again, id 6 runs as a batch of one after its window expires.
+  std::vector<uint8_t> burst;
+  for (const auto& frame :
+       {search_frame(1, 5, 0, 1), search_frame(2, 5, 1, 2),
+        search_frame(3, 3, 2, 3), search_frame(4, 3, 3, 5)}) {
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  EncodeFrame(static_cast<uint8_t>(Op::kPing), 5, {}, &burst);
+  {
+    const auto frame = search_frame(6, 5, 5, 6);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+
+  const int fd = RawConnect(server.port());
+  RawSendAll(fd, burst);
+
+  // Replies come back in request order (single worker; demux sends in
+  // member order), and every Search reply must be bit-identical to the
+  // in-process response for that request *alone*.
+  struct Expected {
+    uint32_t id;
+    uint32_t k;
+    size_t begin;
+    size_t end;
+  };
+  const std::vector<Expected> expected = {{1, 5, 0, 1}, {2, 5, 1, 2},
+                                          {3, 3, 2, 3}, {4, 3, 3, 5},
+                                          {5, 0, 0, 0}, {6, 5, 5, 6}};
+  for (const Expected& e : expected) {
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(RawReadFrame(fd, &header, &payload)) << "request " << e.id;
+    EXPECT_EQ(header.request_id, e.id);
+    if (e.id == 5) {
+      EXPECT_EQ(header.op, static_cast<uint8_t>(Op::kPing) | kReplyBit);
+      continue;
+    }
+    ASSERT_EQ(header.op, static_cast<uint8_t>(Op::kSearch) | kReplyBit);
+    SearchReplyWire reply;
+    ASSERT_TRUE(DecodeSearchReply(payload.data(), payload.size(), &reply).ok());
+    const auto local = engine.Search(
+        "c", SearchRequest::Batch(queries.Slice(e.begin, e.end), e.k));
+    ASSERT_TRUE(local.ok());
+    ExpectWireMatchesLocal(reply, *local);
+  }
+  ::close(fd);
+
+  // Batches executed: {1,2}, {3,4}, {6} — two piggybacked requests, three
+  // coalesce-path executions (size-1 batches count too).
+  EXPECT_EQ(server.coalesce_batch_sizes().Count(), 3u);
+  EXPECT_EQ(server.counters().coalesced_requests.load(), 2u);
+  EXPECT_EQ(server.counters().requests_ok.load(), 6u);
+  EXPECT_EQ(server.counters().requests_error.load(), 0u);
+  server.Stop();
+}
+
+TEST(ServingTest, InsertRacingDropReturnsTypedError) {
+  VdmsEngine engine;
+  ASSERT_TRUE(
+      engine.CreateCollection(ServingOptions("c", IndexType::kFlat, 1, 100))
+          .ok());
+
+  // The hook fires between the successful engine Insert and the stats read
+  // that prices the reply — exactly the window a concurrent Drop can hit.
+  ServerOptions options;
+  options.post_insert_hook_for_tests = [&engine] {
+    ASSERT_TRUE(engine.DropCollection("c").ok());
+  };
+  VdtServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  VdtClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const auto total = client.Insert("c", RandomMatrix(5, 8, 1));
+  // Before the fix this fabricated a success with total_rows = 0; the lost
+  // race must surface as the engine's typed error instead.
+  ASSERT_FALSE(total.ok());
+  EXPECT_EQ(total.status().code(), StatusCode::kNotFound);
+  EXPECT_GE(server.counters().requests_error.load(), 1u);
+  EXPECT_TRUE(client.Ping().ok());  // the connection survived
+  server.Stop();
+}
+
+TEST(ServingTest, ErrorRepliesAreCountedAndPriced) {
+  VdmsEngine engine;
+  VdtServer server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // An undecodable Search payload is a terminal error reply: it must land
+  // in the Search endpoint's latency histogram and in requests_error, and
+  // both must survive the wire round-trip of the Stats op.
+  const int fd = RawConnect(server.port());
+  std::vector<uint8_t> frame;
+  EncodeFrame(static_cast<uint8_t>(Op::kSearch), 21, {0xBA, 0xD0}, &frame);
+  RawSendAll(fd, frame);
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(RawReadFrame(fd, &header, &payload));
+  EXPECT_EQ(header.op, kErrorOp);
+  ::close(fd);
+
+  EXPECT_EQ(server.latency(Op::kSearch).Count(), 1u);
+  EXPECT_EQ(server.counters().requests_error.load(), 1u);
+  EXPECT_GE(server.counters().protocol_errors.load(), 1u);
+
+  VdtClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->requests_error, 1u);
+  EXPECT_EQ(stats->endpoints[static_cast<int>(Op::kSearch) - 1].count, 1u);
+  // The payload never decoded, so no batch was formed or recorded.
+  EXPECT_EQ(stats->coalesce_batch.count, 0u);
+  EXPECT_EQ(stats->coalesced_requests, 0u);
+  server.Stop();
 }
 
 // ----------------------------------------------- concurrency (TSan target)
