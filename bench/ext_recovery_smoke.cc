@@ -1,0 +1,280 @@
+// Extension smoke: end-to-end crash recovery through the network dataplane.
+//
+// Seeds a durable collection entirely over the wire (VdtClient Insert /
+// Delete against a VdtServer running on a --data-dir engine), mixes
+// checkpointed state with a WAL tail — insert + delete, flush (checkpoint),
+// then more inserts and deletes that stay WAL-only — records Search replies
+// for a fixed query set, and tears the server and engine down WITHOUT a
+// final flush (the WAL tail is what recovery must replay). A second engine
+// then recovers the same directory, a second server serves it, and the
+// identical TCP Searches must return bit-identical ids and distances, with
+// the collection counters matching too. Any mismatch exits non-zero — this
+// is the CI gate that a restart is invisible to network clients.
+//
+//   ext_recovery_smoke [--rows=4000] [--dim=32] [--shards=2] [--queries=32]
+//                      [--k=10] [--workers=2] [--wal-sync=0]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/distance.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "storage/file_io.h"
+#include "vdms/vdms.h"
+
+namespace {
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+struct QueryReply {
+  std::vector<vdt::Neighbor> neighbors;
+};
+
+/// Runs every query against `port` over TCP; false on any transport error.
+bool CollectReplies(uint16_t port, const vdt::FloatMatrix& queries, size_t k,
+                    std::vector<QueryReply>* out) {
+  vdt::net::VdtClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) return false;
+  out->clear();
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto reply = client.Search(
+        "bench",
+        vdt::SearchRequest::Single(queries.Row(q), queries.dim(), k));
+    if (!reply.ok() || reply->neighbors.size() != 1) {
+      std::fprintf(stderr, "search %zu failed: %s\n", q,
+                   reply.status().ToString().c_str());
+      return false;
+    }
+    out->push_back({reply->neighbors[0]});
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vdt;
+
+  const auto rows = static_cast<size_t>(FlagInt(argc, argv, "rows", 4000));
+  const auto dim = static_cast<size_t>(FlagInt(argc, argv, "dim", 32));
+  const auto shards = static_cast<int>(FlagInt(argc, argv, "shards", 2));
+  const auto num_queries =
+      static_cast<size_t>(FlagInt(argc, argv, "queries", 32));
+  const auto k = static_cast<size_t>(FlagInt(argc, argv, "k", 10));
+
+  net::ServerOptions soptions;
+  soptions.port = 0;  // ephemeral
+  soptions.num_workers = static_cast<size_t>(FlagInt(argc, argv, "workers", 2));
+
+  char tmpl[] = "/tmp/vdt_recovery_smoke_XXXXXX";
+  const std::string data_dir = mkdtemp(tmpl);
+  VdmsEngineOptions eopts;
+  eopts.data_dir = data_dir;
+  eopts.wal_sync = FlagInt(argc, argv, "wal-sync", 0) != 0
+                       ? WalSyncPolicy::kEveryRecord
+                       : WalSyncPolicy::kNone;
+
+  std::printf("=== Extension: recovery smoke (wire-seeded, restarted) ===\n");
+  std::printf("%zu rows x %zu-d, %d shards, %zu queries, k=%zu, dir %s\n",
+              rows, dim, shards, num_queries, k, data_dir.c_str());
+
+  Rng rng(41);
+  FloatMatrix data(rows, dim);
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = data.Row(r);
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(rng.Normal());
+    }
+    NormalizeVector(row, dim);
+  }
+  FloatMatrix queries(num_queries, dim);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* base = data.Row(rng.UniformInt(static_cast<uint64_t>(rows)));
+    float* row = queries.Row(q);
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = base[d] + 0.05f * static_cast<float>(rng.Normal());
+    }
+  }
+
+  std::vector<QueryReply> before;
+  net::StatsReplyWire stats_before;
+
+  // ---- First life: seed over the wire, flush mid-stream, leave a WAL tail.
+  {
+    VdmsEngine engine(eopts);
+    if (Status st = engine.Open(); !st.ok()) {
+      std::fprintf(stderr, "open (fresh dir): %s\n", st.ToString().c_str());
+      return 1;
+    }
+    CollectionOptions copts;
+    copts.name = "bench";
+    copts.scale.actual_rows = rows;
+    copts.system.num_shards = shards;
+    copts.index.type = IndexType::kIvfFlat;
+    if (Status st = engine.CreateCollection(copts); !st.ok()) {
+      std::fprintf(stderr, "create: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    net::VdtServer server(&engine, soptions);
+    if (Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    net::VdtClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      std::fprintf(stderr, "connect failed\n");
+      return 1;
+    }
+    // Checkpointed portion: 3/4 of the rows plus a delete wave, then Flush
+    // seals segments and rotates the WAL.
+    const size_t checkpointed = rows - rows / 4;
+    if (!client.Insert("bench", data.Slice(0, checkpointed)).ok()) {
+      std::fprintf(stderr, "wire insert (checkpointed) failed\n");
+      return 1;
+    }
+    std::vector<int64_t> early_victims;
+    for (int64_t id = 0; id < static_cast<int64_t>(rows / 20); ++id) {
+      early_victims.push_back(id * 3);
+    }
+    if (!client.Delete("bench", early_victims).ok()) {
+      std::fprintf(stderr, "wire delete (checkpointed) failed\n");
+      return 1;
+    }
+    if (Status st = engine.Flush("bench"); !st.ok()) {
+      std::fprintf(stderr, "flush: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    // WAL tail: these mutations are never checkpointed — recovery replays
+    // them from the log.
+    if (!client.Insert("bench", data.Slice(checkpointed, rows)).ok()) {
+      std::fprintf(stderr, "wire insert (tail) failed\n");
+      return 1;
+    }
+    std::vector<int64_t> tail_victims;
+    for (int64_t id = static_cast<int64_t>(checkpointed);
+         id < static_cast<int64_t>(checkpointed + rows / 40); ++id) {
+      tail_victims.push_back(id);
+    }
+    if (!client.Delete("bench", tail_victims).ok()) {
+      std::fprintf(stderr, "wire delete (tail) failed\n");
+      return 1;
+    }
+
+    if (!CollectReplies(server.port(), queries, k, &before)) return 1;
+    const auto stats = client.Stats("bench");
+    if (!stats.ok() || !stats->has_collection) {
+      std::fprintf(stderr, "stats failed before restart\n");
+      return 1;
+    }
+    stats_before = *stats;
+    server.Stop();
+    // Engine destructs here with the WAL tail un-checkpointed — the
+    // kill-without-flush the recovery path exists for.
+  }
+
+  // ---- Second life: recover the directory, serve it, replay the queries.
+  std::vector<QueryReply> after;
+  net::StatsReplyWire stats_after;
+  {
+    VdmsEngine engine(eopts);
+    if (Status st = engine.Open(); !st.ok()) {
+      std::fprintf(stderr, "recovery open: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!engine.HasCollection("bench")) {
+      std::fprintf(stderr, "recovery lost the collection\n");
+      return 1;
+    }
+    net::VdtServer server(&engine, soptions);
+    if (Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "restart: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!CollectReplies(server.port(), queries, k, &after)) return 1;
+    net::VdtClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return 1;
+    const auto stats = client.Stats("bench");
+    if (!stats.ok() || !stats->has_collection) {
+      std::fprintf(stderr, "stats failed after restart\n");
+      return 1;
+    }
+    stats_after = *stats;
+    server.Stop();
+  }
+  (void)RemoveDirRecursive(data_dir);
+
+  // ---- Verdict: every reply bit-identical, counters matching.
+  size_t mismatches = 0;
+  for (size_t q = 0; q < before.size(); ++q) {
+    const auto& b = before[q].neighbors;
+    const auto& a = after[q].neighbors;
+    if (b.size() != a.size()) {
+      ++mismatches;
+      std::fprintf(stderr, "query %zu: %zu results before, %zu after\n", q,
+                   b.size(), a.size());
+      continue;
+    }
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (b[i].id != a[i].id || b[i].distance != a[i].distance) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "query %zu rank %zu: (%lld, %.9g) before, (%lld, %.9g) "
+                     "after\n",
+                     q, i, static_cast<long long>(b[i].id),
+                     static_cast<double>(b[i].distance),
+                     static_cast<long long>(a[i].id),
+                     static_cast<double>(a[i].distance));
+        break;
+      }
+    }
+  }
+  bool stats_match =
+      stats_before.total_rows == stats_after.total_rows &&
+      stats_before.stored_rows == stats_after.stored_rows &&
+      stats_before.live_rows == stats_after.live_rows &&
+      stats_before.tombstoned_rows == stats_after.tombstoned_rows &&
+      stats_before.num_shards == stats_after.num_shards &&
+      stats_before.num_sealed_segments == stats_after.num_sealed_segments;
+  if (!stats_match) {
+    std::fprintf(stderr,
+                 "collection counters diverged: total %llu/%llu stored "
+                 "%llu/%llu live %llu/%llu tomb %llu/%llu segs %llu/%llu\n",
+                 static_cast<unsigned long long>(stats_before.total_rows),
+                 static_cast<unsigned long long>(stats_after.total_rows),
+                 static_cast<unsigned long long>(stats_before.stored_rows),
+                 static_cast<unsigned long long>(stats_after.stored_rows),
+                 static_cast<unsigned long long>(stats_before.live_rows),
+                 static_cast<unsigned long long>(stats_after.live_rows),
+                 static_cast<unsigned long long>(stats_before.tombstoned_rows),
+                 static_cast<unsigned long long>(stats_after.tombstoned_rows),
+                 static_cast<unsigned long long>(
+                     stats_before.num_sealed_segments),
+                 static_cast<unsigned long long>(
+                     stats_after.num_sealed_segments));
+  }
+
+  std::printf("%zu queries compared, %zu mismatches; live rows %llu -> %llu\n",
+              before.size(), mismatches,
+              static_cast<unsigned long long>(stats_before.live_rows),
+              static_cast<unsigned long long>(stats_after.live_rows));
+  if (mismatches != 0 || !stats_match || before.empty()) {
+    std::fprintf(stderr, "FAIL: restart was visible to network clients\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -39,6 +39,12 @@ constexpr size_t kDim = 48;
 constexpr size_t kQueries = 64;
 constexpr size_t kK = 10;
 
+VdmsEngineOptions EngineOptions(bool serialize_reads) {
+  VdmsEngineOptions options;
+  options.serialize_reads = serialize_reads;
+  return options;
+}
+
 CollectionOptions BenchOptions(const std::string& name, int num_shards = 1) {
   CollectionOptions opts;
   opts.name = name;
@@ -57,7 +63,7 @@ CollectionOptions BenchOptions(const std::string& name, int num_shards = 1) {
 /// shared across every thread count of the sweep.
 struct EngineFixture {
   explicit EngineFixture(bool serialize_reads, int num_shards = 1)
-      : engine(VdmsEngineOptions{serialize_reads}),
+      : engine(EngineOptions(serialize_reads)),
         data(GenerateDataset(DatasetProfile::kGlove, kRows, kDim, 7)),
         queries(GenerateQueries(DatasetProfile::kGlove, kQueries, kDim, 11)) {
     engine.CreateCollection(BenchOptions("bench", num_shards));

@@ -1,11 +1,20 @@
 // Contiguous row-major float matrix: the storage format for vector datasets,
 // queries, centroids, and codebooks throughout the repository.
+//
+// A matrix either owns its floats (the default; a std::vector) or *borrows*
+// them from caller-owned storage via Borrow() — the mmap read path: a sealed
+// segment loaded from disk wraps the mapped vector section without copying,
+// and the `owner` handle keeps the mapping alive for as long as any copy of
+// the matrix (and therefore any snapshot referencing the segment) exists.
+// Borrowed matrices are read-only: the mutating accessors assert.
 #ifndef VDTUNER_COMMON_FLOAT_MATRIX_H_
 #define VDTUNER_COMMON_FLOAT_MATRIX_H_
 
 #include <cassert>
 #include <cstddef>
 #include <cstring>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace vdt {
@@ -17,52 +26,87 @@ class FloatMatrix {
   FloatMatrix(size_t rows, size_t dim, float fill = 0.0f)
       : rows_(rows), dim_(dim), data_(rows * dim, fill) {}
 
+  /// A read-only matrix viewing `rows * dim` floats owned elsewhere.
+  /// `owner` (may be null for static storage) is held for the lifetime of
+  /// the matrix and every copy of it — the keep-alive handle for a file
+  /// mapping. `data` must stay valid and unchanged while `owner` lives and
+  /// must be at least 4-byte aligned (the segment format 64-byte-aligns it).
+  static FloatMatrix Borrow(const float* data, size_t rows, size_t dim,
+                            std::shared_ptr<const void> owner) {
+    FloatMatrix m;
+    m.rows_ = rows;
+    m.dim_ = dim;
+    m.borrowed_ = data;
+    m.owner_ = std::move(owner);
+    return m;
+  }
+
   size_t rows() const { return rows_; }
   size_t dim() const { return dim_; }
   bool empty() const { return rows_ == 0; }
+  /// True when this matrix views caller-owned (e.g. mmap'd) storage.
+  bool borrowed() const { return borrowed_ != nullptr; }
 
   float* Row(size_t r) {
     assert(r < rows_);
+    assert(!borrowed() && "borrowed FloatMatrix is read-only");
     return &data_[r * dim_];
   }
   const float* Row(size_t r) const {
     assert(r < rows_);
-    return &data_[r * dim_];
+    return RawData() + r * dim_;
   }
 
   float& At(size_t r, size_t c) {
     assert(r < rows_ && c < dim_);
+    assert(!borrowed() && "borrowed FloatMatrix is read-only");
     return data_[r * dim_ + c];
   }
   float At(size_t r, size_t c) const {
     assert(r < rows_ && c < dim_);
-    return data_[r * dim_ + c];
+    return RawData()[r * dim_ + c];
   }
 
   /// Appends one row (must match dim; sets dim on the first append).
+  /// Owned-storage matrices only.
   void AppendRow(const float* row, size_t dim) {
+    assert(!borrowed() && "borrowed FloatMatrix is read-only");
     if (rows_ == 0 && dim_ == 0) dim_ = dim;
     assert(dim == dim_);
     data_.insert(data_.end(), row, row + dim);
     ++rows_;
   }
 
-  /// Copies rows [begin, end) into a new matrix.
+  /// Copies rows [begin, end) into a new (owned) matrix.
   FloatMatrix Slice(size_t begin, size_t end) const {
     assert(begin <= end && end <= rows_);
     FloatMatrix out(end - begin, dim_);
-    std::memcpy(out.data_.data(), &data_[begin * dim_],
-                (end - begin) * dim_ * sizeof(float));
+    if (end > begin) {
+      std::memcpy(out.data_.data(), RawData() + begin * dim_,
+                  (end - begin) * dim_ * sizeof(float));
+    }
     return out;
   }
 
-  size_t MemoryBytes() const { return data_.size() * sizeof(float); }
+  size_t MemoryBytes() const { return rows_ * dim_ * sizeof(float); }
 
-  const std::vector<float>& data() const { return data_; }
+  /// The owned backing vector (owned-storage matrices only; borrowed
+  /// callers use RawData()).
+  const std::vector<float>& data() const {
+    assert(!borrowed());
+    return data_;
+  }
+
+  /// Contiguous row-major floats, whichever storage backs them.
+  const float* RawData() const {
+    return borrowed_ != nullptr ? borrowed_ : data_.data();
+  }
 
  private:
   size_t rows_, dim_;
   std::vector<float> data_;
+  const float* borrowed_ = nullptr;
+  std::shared_ptr<const void> owner_;
 };
 
 }  // namespace vdt

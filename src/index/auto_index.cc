@@ -2,6 +2,7 @@
 
 #include "index/flat_index.h"
 #include "index/hnsw_index.h"
+#include "index/index_io.h"
 
 namespace vdt {
 
@@ -46,6 +47,29 @@ size_t AutoIndex::Size() const { return delegate_ ? delegate_->Size() : 0; }
 
 IndexType AutoIndex::delegate_type() const {
   return delegate_ ? delegate_->type() : IndexType::kAutoIndex;
+}
+
+Status AutoIndex::SerializeState(ByteWriter* writer) const {
+  if (!delegate_) {
+    return Status::FailedPrecondition("AUTOINDEX serialize: index not built");
+  }
+  writer->U8(delegate_->type() == IndexType::kFlat ? 0 : 1);
+  return delegate_->SerializeState(writer);
+}
+
+Status AutoIndex::RestoreState(ByteReader* reader, const FloatMatrix& data) {
+  uint8_t tag = 0;
+  if (!reader->U8(&tag) || tag > 1) {
+    return MalformedIndexState(Name(), "delegate tag");
+  }
+  if (tag == 0) {
+    delegate_ = std::make_unique<FlatIndex>(metric_);
+  } else {
+    // The delegate's pre-tuned params travel inside its own state blob and
+    // overwrite these placeholder values during its RestoreState.
+    delegate_ = std::make_unique<HnswIndex>(metric_, IndexParams{}, seed_);
+  }
+  return delegate_->RestoreState(reader, data);
 }
 
 }  // namespace vdt

@@ -31,6 +31,11 @@ class AutoIndex : public VectorIndex {
   /// The index AUTOINDEX delegated to after Build (FLAT or HNSW).
   IndexType delegate_type() const;
 
+  /// Records the delegate's type tag followed by the delegate's own state;
+  /// restore recreates the delegate and forwards to its RestoreState.
+  Status SerializeState(ByteWriter* writer) const override;
+  Status RestoreState(ByteReader* reader, const FloatMatrix& data) override;
+
  private:
   Metric metric_;
   uint64_t seed_;

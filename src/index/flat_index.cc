@@ -1,9 +1,24 @@
 #include "index/flat_index.h"
 
+#include "index/index_io.h"
+
 namespace vdt {
 
 Status FlatIndex::Build(const FloatMatrix& data) {
   if (data.empty()) return Status::InvalidArgument("FLAT build: empty data");
+  data_ = &data;
+  return Status::OK();
+}
+
+Status FlatIndex::SerializeState(ByteWriter* /*writer*/) const {
+  return Status::OK();
+}
+
+Status FlatIndex::RestoreState(ByteReader* /*reader*/,
+                               const FloatMatrix& data) {
+  if (data.empty()) {
+    return MalformedIndexState(Name(), "state over empty data");
+  }
   data_ = &data;
   return Status::OK();
 }

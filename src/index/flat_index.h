@@ -21,6 +21,11 @@ class FlatIndex : public VectorIndex {
   IndexType type() const override { return IndexType::kFlat; }
   size_t Size() const override { return data_ ? data_->rows() : 0; }
 
+  /// FLAT has no built structures beyond the data reference: serialization
+  /// writes nothing and restore only reattaches `data`.
+  Status SerializeState(ByteWriter* writer) const override;
+  Status RestoreState(ByteReader* reader, const FloatMatrix& data) override;
+
  private:
   Metric metric_;
   const FloatMatrix* data_ = nullptr;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/parallel_executor.h"
+#include "index/index_io.h"
 #include "index/topk.h"
 
 namespace vdt {
@@ -295,6 +296,91 @@ std::vector<Neighbor> HnswIndex::SearchFiltered(const float* query, size_t k,
   std::vector<Neighbor> found = SearchLayer(query, ep, ef, 0, filter, counters);
   if (found.size() > k) found.resize(k);
   return found;
+}
+
+Status HnswIndex::SerializeState(ByteWriter* writer) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("HNSW serialize: index not built");
+  }
+  WriteIndexParams(writer, params_);
+  writer->U64(seed_);
+  writer->I32(max_level_);
+  writer->U32(entry_);
+  const size_t n = node_level_.size();
+  writer->U64(n);
+  for (int level : node_level_) writer->I32(level);
+  for (const auto& links : links0_) {
+    writer->U32(static_cast<uint32_t>(links.size()));
+    for (uint32_t target : links) writer->U32(target);
+  }
+  // upper_[i] holds exactly node_level_[i] lists, so the levels need no
+  // explicit counts — the decoder re-derives them from node_level_.
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& links : upper_[i]) {
+      writer->U32(static_cast<uint32_t>(links.size()));
+      for (uint32_t target : links) writer->U32(target);
+    }
+  }
+  return Status::OK();
+}
+
+Status HnswIndex::RestoreState(ByteReader* reader, const FloatMatrix& data) {
+  if (data.empty()) {
+    return MalformedIndexState(Name(), "state over empty data");
+  }
+  if (!ReadIndexParams(reader, &params_) || !reader->U64(&seed_) ||
+      !reader->I32(&max_level_) || !reader->U32(&entry_)) {
+    return MalformedIndexState(Name(), "header");
+  }
+  uint64_t n = 0;
+  if (!reader->U64(&n) || n != data.rows()) {
+    return MalformedIndexState(Name(), "node count");
+  }
+  if (!reader->Fits(n, sizeof(int32_t))) {
+    return MalformedIndexState(Name(), "node levels");
+  }
+  node_level_.assign(static_cast<size_t>(n), 0);
+  for (auto& level : node_level_) {
+    int32_t v = 0;
+    if (!reader->I32(&v) || v < 0 || v > 64) {
+      return MalformedIndexState(Name(), "node level");
+    }
+    level = v;
+  }
+  // Every link target is validated against the node count (and, on upper
+  // layers, the target's own level) here, so traversal never range-checks.
+  auto read_links = [&](int level, std::vector<uint32_t>* links) -> bool {
+    uint32_t count = 0;
+    if (!reader->U32(&count) || !reader->Fits(count, sizeof(uint32_t))) {
+      return false;
+    }
+    links->assign(count, 0);
+    for (auto& target : *links) {
+      if (!reader->U32(&target) || target >= n) return false;
+      if (level > 0 && node_level_[target] < level) return false;
+    }
+    return true;
+  };
+  links0_.assign(static_cast<size_t>(n), {});
+  for (auto& links : links0_) {
+    if (!read_links(0, &links)) {
+      return MalformedIndexState(Name(), "level-0 links");
+    }
+  }
+  upper_.assign(static_cast<size_t>(n), {});
+  for (size_t i = 0; i < n; ++i) {
+    upper_[i].resize(static_cast<size_t>(node_level_[i]));
+    for (int level = 1; level <= node_level_[i]; ++level) {
+      if (!read_links(level, &upper_[i][level - 1])) {
+        return MalformedIndexState(Name(), "upper-layer links");
+      }
+    }
+  }
+  if (entry_ >= n || max_level_ != node_level_[entry_]) {
+    return MalformedIndexState(Name(), "entry point");
+  }
+  data_ = &data;
+  return Status::OK();
 }
 
 size_t HnswIndex::MemoryBytes() const {

@@ -40,6 +40,12 @@ class HnswIndex : public VectorIndex {
 
   int max_level() const { return max_level_; }
 
+  /// Graph state: params, seed, entry point, per-node levels, level-0 and
+  /// upper-layer adjacency. Restore validates every link target and the
+  /// entry point against `data` before the graph is searchable.
+  Status SerializeState(ByteWriter* writer) const override;
+  Status RestoreState(ByteReader* reader, const FloatMatrix& data) override;
+
  private:
   /// Distance from `query` to node `id`, with work accounting.
   float Dist(const float* query, uint32_t id, WorkCounters* counters) const;

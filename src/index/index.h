@@ -16,6 +16,8 @@
 
 namespace vdt {
 
+class ByteReader;
+class ByteWriter;
 class ParallelExecutor;
 
 /// Index types supported by the VDMS (paper Table I).
@@ -233,6 +235,22 @@ class VectorIndex {
 
   /// Number of indexed vectors.
   virtual size_t Size() const = 0;
+
+  /// Appends the built structures (centroids, codes, graph links, knobs,
+  /// seed — everything except the raw vectors, which the segment format
+  /// stores separately) to `writer` as little-endian bytes. Only valid on a
+  /// built index. Restoring the bytes with RestoreState over the same data
+  /// yields an index whose searches are bit-identical to this one.
+  virtual Status SerializeState(ByteWriter* writer) const = 0;
+
+  /// Rebuilds the index from bytes produced by SerializeState, attaching it
+  /// to `data` (which must hold the exact rows the state was built over and
+  /// must outlive the index — typically the mmap'd vector section). Total
+  /// over arbitrary input: malformed or truncated bytes yield a typed
+  /// InvalidArgument and every internal reference (posting-list ids, graph
+  /// links, code widths) is validated against `data` before use, so a
+  /// corrupt file can never cause an out-of-bounds access later.
+  virtual Status RestoreState(ByteReader* reader, const FloatMatrix& data) = 0;
 };
 
 /// The engine behind every SearchBatch implementation: runs

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/parallel_executor.h"
+#include "index/index_io.h"
 #include "index/sq8.h"
 #include "index/topk.h"
 
@@ -37,6 +38,41 @@ Status IvfBaseIndex::Build(const FloatMatrix& data) {
   centroids_ = std::move(km.centroids);
   list_ids_ = BucketByAssignment(km.assignments, centroids_.rows(), executor);
   return EncodeLists(data, executor);
+}
+
+Status IvfBaseIndex::SerializeState(ByteWriter* writer) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition(std::string(Name()) +
+                                      " serialize: index not built");
+  }
+  WriteIndexParams(writer, params_);
+  writer->U64(seed_);
+  WriteFloatMatrix(writer, centroids_);
+  WriteIdLists(writer, list_ids_);
+  return SerializeExtra(writer);
+}
+
+Status IvfBaseIndex::RestoreState(ByteReader* reader, const FloatMatrix& data) {
+  if (data.empty()) {
+    return MalformedIndexState(Name(), "state over empty data");
+  }
+  if (!ReadIndexParams(reader, &params_) || !reader->U64(&seed_)) {
+    return MalformedIndexState(Name(), "header");
+  }
+  if (!ReadFloatMatrix(reader, &centroids_)) {
+    return MalformedIndexState(Name(), "centroids");
+  }
+  if (centroids_.empty() || centroids_.dim() != data.dim()) {
+    return MalformedIndexState(Name(), "centroid shape");
+  }
+  if (!ReadIdLists(reader, data.rows(), &list_ids_)) {
+    return MalformedIndexState(Name(), "posting lists");
+  }
+  if (list_ids_.size() != centroids_.rows()) {
+    return MalformedIndexState(Name(), "posting-list count");
+  }
+  data_ = &data;
+  return RestoreExtra(reader, data);
 }
 
 std::vector<int32_t> IvfBaseIndex::ProbeLists(const float* query, int nprobe_in,
@@ -107,6 +143,32 @@ Status IvfSq8Index::EncodeLists(const FloatMatrix& data,
                                 ParallelExecutor* executor) {
   FitSq8Range(data, executor, &vmin_, &vscale_);
   EncodeSq8Lists(data, list_ids_, vmin_, vscale_, executor, &list_codes_);
+  return Status::OK();
+}
+
+Status IvfSq8Index::SerializeExtra(ByteWriter* writer) const {
+  WriteFloatVec(writer, vmin_);
+  WriteFloatVec(writer, vscale_);
+  WriteU8Lists(writer, list_codes_);
+  return Status::OK();
+}
+
+Status IvfSq8Index::RestoreExtra(ByteReader* reader, const FloatMatrix& data) {
+  if (!ReadFloatVec(reader, &vmin_) || !ReadFloatVec(reader, &vscale_)) {
+    return MalformedIndexState(Name(), "SQ8 quantization range");
+  }
+  if (vmin_.size() != data.dim() || vscale_.size() != data.dim()) {
+    return MalformedIndexState(Name(), "SQ8 range length");
+  }
+  if (!ReadU8Lists(reader, &list_codes_) ||
+      list_codes_.size() != list_ids_.size()) {
+    return MalformedIndexState(Name(), "SQ8 code lists");
+  }
+  for (size_t l = 0; l < list_codes_.size(); ++l) {
+    if (list_codes_[l].size() != list_ids_[l].size() * data.dim()) {
+      return MalformedIndexState(Name(), "SQ8 code-list size");
+    }
+  }
   return Status::OK();
 }
 
@@ -212,6 +274,55 @@ Status IvfPqIndex::EncodeLists(const FloatMatrix& data,
     }
   };
   ParallelForOrInline(executor, list_ids_.size(), encode_list);
+  return Status::OK();
+}
+
+Status IvfPqIndex::SerializeExtra(ByteWriter* writer) const {
+  writer->I32(ksub_);
+  writer->U64(dsub_);
+  WriteFloatMatrix(writer, codebooks_);
+  WriteU16Lists(writer, list_codes_);
+  return Status::OK();
+}
+
+Status IvfPqIndex::RestoreExtra(ByteReader* reader, const FloatMatrix& data) {
+  int32_t ksub = 0;
+  uint64_t dsub = 0;
+  if (!reader->I32(&ksub) || !reader->U64(&dsub)) {
+    return MalformedIndexState(Name(), "PQ header");
+  }
+  const size_t dim = data.dim();
+  if (params_.m < 1 || dim % static_cast<size_t>(params_.m) != 0 ||
+      dsub != dim / static_cast<size_t>(params_.m) || ksub < 1 ||
+      ksub > (1 << 12)) {
+    return MalformedIndexState(Name(), "PQ geometry");
+  }
+  ksub_ = ksub;
+  dsub_ = static_cast<size_t>(dsub);
+  const size_t m = static_cast<size_t>(params_.m);
+  if (!ReadFloatMatrix(reader, &codebooks_)) {
+    return MalformedIndexState(Name(), "PQ codebooks");
+  }
+  if (codebooks_.rows() != m * static_cast<size_t>(ksub_) ||
+      codebooks_.dim() != dsub_) {
+    return MalformedIndexState(Name(), "PQ codebook shape");
+  }
+  if (!ReadU16Lists(reader, &list_codes_) ||
+      list_codes_.size() != list_ids_.size()) {
+    return MalformedIndexState(Name(), "PQ code lists");
+  }
+  // Codes index the ADC table at search time, so each must name a valid
+  // codeword — enforced here, once, instead of per lookup.
+  for (size_t l = 0; l < list_codes_.size(); ++l) {
+    if (list_codes_[l].size() != list_ids_[l].size() * m) {
+      return MalformedIndexState(Name(), "PQ code-list size");
+    }
+    for (uint16_t code : list_codes_[l]) {
+      if (code >= static_cast<uint16_t>(ksub_)) {
+        return MalformedIndexState(Name(), "PQ code value");
+      }
+    }
+  }
   return Status::OK();
 }
 

@@ -29,7 +29,24 @@ class IvfBaseIndex : public VectorIndex {
     params_.nprobe = params.nprobe;
   }
 
+  /// Shared IVF layout (params, seed, centroids, posting lists) followed by
+  /// the subclass payload (SerializeExtra / RestoreExtra).
+  Status SerializeState(ByteWriter* writer) const override;
+  Status RestoreState(ByteReader* reader, const FloatMatrix& data) override;
+
  protected:
+  /// Hook: append / decode the subclass payload (SQ8 ranges + codes, PQ
+  /// codebooks + codes) after the shared IVF layout. RestoreExtra runs with
+  /// params_, centroids_, list_ids_, and data_ already restored+validated.
+  virtual Status SerializeExtra(ByteWriter* writer) const {
+    (void)writer;
+    return Status::OK();
+  }
+  virtual Status RestoreExtra(ByteReader* reader, const FloatMatrix& data) {
+    (void)reader;
+    (void)data;
+    return Status::OK();
+  }
   /// Hook: encode the per-list payload after coarse clustering. `executor`
   /// is the build executor resolved from params_.build_threads (null = run
   /// inline); implementations must keep the encoded payload bit-identical
@@ -89,6 +106,8 @@ class IvfSq8Index : public IvfBaseIndex {
  protected:
   Status EncodeLists(const FloatMatrix& data,
                      ParallelExecutor* executor) override;
+  Status SerializeExtra(ByteWriter* writer) const override;
+  Status RestoreExtra(ByteReader* reader, const FloatMatrix& data) override;
 
  private:
   /// Per-dimension affine dequantization: value = vmin[d] + code * vscale[d].
@@ -113,6 +132,8 @@ class IvfPqIndex : public IvfBaseIndex {
  protected:
   Status EncodeLists(const FloatMatrix& data,
                      ParallelExecutor* executor) override;
+  Status SerializeExtra(ByteWriter* writer) const override;
+  Status RestoreExtra(ByteReader* reader, const FloatMatrix& data) override;
 
  private:
   int ksub_ = 0;        // 2^nbits codewords per subspace

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/parallel_executor.h"
+#include "index/index_io.h"
 #include "index/sq8.h"
 #include "index/topk.h"
 
@@ -115,6 +116,58 @@ std::vector<Neighbor> ScannIndex::SearchFiltered(
   std::vector<std::vector<Neighbor>> rescored;
   rescored.push_back(std::move(candidates));
   return MergeTopK(std::move(rescored), k);
+}
+
+Status ScannIndex::SerializeState(ByteWriter* writer) const {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("SCANN serialize: index not built");
+  }
+  WriteIndexParams(writer, params_);
+  writer->U64(seed_);
+  WriteFloatMatrix(writer, centroids_);
+  WriteIdLists(writer, list_ids_);
+  WriteFloatVec(writer, vmin_);
+  WriteFloatVec(writer, vscale_);
+  WriteU8Lists(writer, list_codes_);
+  return Status::OK();
+}
+
+Status ScannIndex::RestoreState(ByteReader* reader, const FloatMatrix& data) {
+  if (data.empty()) {
+    return MalformedIndexState(Name(), "state over empty data");
+  }
+  if (!ReadIndexParams(reader, &params_) || !reader->U64(&seed_)) {
+    return MalformedIndexState(Name(), "header");
+  }
+  if (!ReadFloatMatrix(reader, &centroids_)) {
+    return MalformedIndexState(Name(), "centroids");
+  }
+  if (centroids_.empty() || centroids_.dim() != data.dim()) {
+    return MalformedIndexState(Name(), "centroid shape");
+  }
+  if (!ReadIdLists(reader, data.rows(), &list_ids_)) {
+    return MalformedIndexState(Name(), "posting lists");
+  }
+  if (list_ids_.size() != centroids_.rows()) {
+    return MalformedIndexState(Name(), "posting-list count");
+  }
+  if (!ReadFloatVec(reader, &vmin_) || !ReadFloatVec(reader, &vscale_)) {
+    return MalformedIndexState(Name(), "SQ8 quantization range");
+  }
+  if (vmin_.size() != data.dim() || vscale_.size() != data.dim()) {
+    return MalformedIndexState(Name(), "SQ8 range length");
+  }
+  if (!ReadU8Lists(reader, &list_codes_) ||
+      list_codes_.size() != list_ids_.size()) {
+    return MalformedIndexState(Name(), "SQ8 code lists");
+  }
+  for (size_t l = 0; l < list_codes_.size(); ++l) {
+    if (list_codes_[l].size() != list_ids_[l].size() * data.dim()) {
+      return MalformedIndexState(Name(), "SQ8 code-list size");
+    }
+  }
+  data_ = &data;
+  return Status::OK();
 }
 
 size_t ScannIndex::MemoryBytes() const {

@@ -32,6 +32,9 @@ class ScannIndex : public VectorIndex {
   IndexType type() const override { return IndexType::kScann; }
   size_t Size() const override { return data_ ? data_->rows() : 0; }
 
+  Status SerializeState(ByteWriter* writer) const override;
+  Status RestoreState(ByteReader* reader, const FloatMatrix& data) override;
+
  private:
   Metric metric_;
   IndexParams params_;

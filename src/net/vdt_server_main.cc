@@ -6,6 +6,7 @@
 //              [--timeout-ms=0] [--coalesce-max=32] [--coalesce-window-us=0]
 //              [--demo-rows=20000] [--demo-dim=64]
 //              [--demo-shards=2] [--collection=demo]
+//              [--data-dir=] [--wal-sync=0]
 //
 // --coalesce-max bounds the query count of one coalesced Search batch
 // (<= 1 disables coalescing); --coalesce-window-us lets a worker wait that
@@ -13,6 +14,13 @@
 //
 // --demo-rows=0 starts an empty engine (create collections via the engine
 // API in-process; the wire protocol serves existing collections).
+//
+// --data-dir makes the engine durable: collections persist under that
+// directory and are recovered on startup. An unreadable, corrupt, or
+// foreign manifest refuses startup with the decoder's typed error rather
+// than serving partial data. Demo seeding is skipped when recovery found
+// collections (the persisted data is the data). --wal-sync=1 fsyncs the WAL
+// on every mutation.
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -76,8 +84,32 @@ int main(int argc, char** argv) {
   const int64_t demo_shards = FlagInt(argc, argv, "demo-shards", 2);
   const std::string collection = FlagStr(argc, argv, "collection", "demo");
 
-  VdmsEngine engine;
-  if (demo_rows > 0) {
+  VdmsEngineOptions engine_options;
+  engine_options.data_dir = FlagStr(argc, argv, "data-dir", "");
+  engine_options.wal_sync = FlagInt(argc, argv, "wal-sync", 0) != 0
+                                ? WalSyncPolicy::kEveryRecord
+                                : WalSyncPolicy::kNone;
+
+  VdmsEngine engine(engine_options);
+  bool recovered = false;
+  if (!engine_options.data_dir.empty()) {
+    if (Status st = engine.Open(); !st.ok()) {
+      // A corrupt or foreign data dir must not be served (or silently
+      // re-seeded over); surface the typed error and refuse startup.
+      std::fprintf(stderr, "refusing startup, cannot recover data dir %s: %s\n",
+                   engine_options.data_dir.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    const std::vector<std::string> names = engine.ListCollections();
+    recovered = !names.empty();
+    for (const std::string& name : names) {
+      auto stats = engine.GetStats(name);
+      std::printf("recovered collection '%s': %zu live rows, %zu segments\n",
+                  name.c_str(), stats.ok() ? stats->live_rows : 0,
+                  stats.ok() ? stats->num_sealed_segments : 0);
+    }
+  }
+  if (demo_rows > 0 && !recovered) {
     CollectionOptions copts;
     copts.name = collection;
     copts.scale.actual_rows = static_cast<size_t>(demo_rows);

@@ -1,0 +1,218 @@
+#include "storage/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace vdt {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  return Status::Internal(op + " " + path + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp, errno);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return ErrnoStatus("write", tmp, err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("fsync", tmp, err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("close", tmp, err);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("rename", tmp + " -> " + path, err);
+  }
+  const size_t slash = path.find_last_of('/');
+  return FsyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + path)
+                           : ErrnoStatus("open", path, errno);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("fstat", path, err);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(st.st_size));
+  size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n = ::read(fd, bytes.data() + got, bytes.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("read", path, err);
+    }
+    if (n == 0) break;  // file shrank under us; return what we have
+    got += static_cast<size_t>(n);
+  }
+  bytes.resize(got);
+  ::close(fd);
+  return bytes;
+}
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + path)
+                           : ErrnoStatus("open", path, errno);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("fstat", path, err);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("mmap " + path + ": empty file");
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (mapping == MAP_FAILED) return ErrnoStatus("mmap", path, errno);
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(static_cast<const uint8_t*>(mapping), size));
+}
+
+MappedFile::~MappedFile() {
+  ::munmap(const_cast<uint8_t*>(data_), size_);
+}
+
+Result<std::unique_ptr<AppendFile>> AppendFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  return std::unique_ptr<AppendFile>(new AppendFile(fd, path));
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendFile::Append(const uint8_t* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd_, data + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path_, errno);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+  return Status::OK();
+}
+
+Status AppendFile::TruncateTo(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("ftruncate", path_, errno);
+  }
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return ErrnoStatus("mkdir", path, errno);
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir", path, errno);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return ErrnoStatus("unlink", path, errno);
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  if (!PathExists(path)) return Status::OK();
+  Result<std::vector<std::string>> entries = ListDir(path);
+  if (!entries.ok()) return entries.status();
+  for (const std::string& name : *entries) {
+    const std::string child = path + "/" + name;
+    if (IsDirectory(child)) {
+      VDT_RETURN_IF_ERROR(RemoveDirRecursive(child));
+    } else {
+      VDT_RETURN_IF_ERROR(RemoveFileIfExists(child));
+    }
+  }
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("rmdir", path, errno);
+  }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", path, errno);
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync dir", path, err);
+  return Status::OK();
+}
+
+}  // namespace vdt

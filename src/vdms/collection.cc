@@ -8,6 +8,7 @@
 #include "common/parallel_executor.h"
 #include "index/kernels/kernels.h"
 #include "index/topk.h"
+#include "storage/collection_store.h"
 
 namespace vdt {
 
@@ -101,8 +102,21 @@ size_t Collection::BufferRows() const {
              std::max(0.25, options_.system.insert_buf_size_mb)));
 }
 
+void Collection::AttachStore(std::shared_ptr<CollectionStore> store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::move(store);
+}
+
 Status Collection::Insert(const FloatMatrix& rows) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Validate before logging so the WAL only ever holds applicable records;
+  // write-ahead otherwise (the record is durable before the state changes).
+  if (!rows.empty() && dim_ != 0 && rows.dim() != dim_) {
+    return Status::InvalidArgument("dimension mismatch on insert");
+  }
+  if (store_ != nullptr && !rows.empty()) {
+    VDT_RETURN_IF_ERROR(store_->LogInsert(rows));
+  }
   Status st = InsertLocked(rows);
   Publish();
   return st;
@@ -195,6 +209,18 @@ Status Collection::SealShardGrowing(size_t shard_index) {
       options_.seed + kShardSeedSalt * shard_index +
           shard.sealed.size() * 31 + 1);
   if (!st.ok()) return st;
+  if (store_ != nullptr) {
+    // Durable before visible: the segment file lands atomically before the
+    // segment is published. The uid comes from a checkpointed counter, so a
+    // post-crash replay of this seal regenerates the same file in place.
+    const uint64_t uid = store_->AllocateSegmentUid();
+    const std::vector<uint8_t>* bits = shard.growing_tombstones != nullptr
+                                           ? &shard.growing_tombstones->bits
+                                           : nullptr;
+    VDT_RETURN_IF_ERROR(
+        store_->WriteSegment(*segment, options_.metric, bits, uid));
+    segment->set_storage_uid(uid);
+  }
   shard.sealed.push_back(
       SegmentView{std::move(segment), shard.growing_tombstones});
   shard.growing_chunks.clear();
@@ -214,12 +240,27 @@ Status Collection::Flush() {
     const Status shard_st = SealShardGrowing(s);
     if (!shard_st.ok() && st.ok()) st = shard_st;
   }
+  if (st.ok() && store_ != nullptr) {
+    // Everything is sealed (and its segment files written), so the WAL has
+    // nothing left to say: checkpoint the manifest and rotate it away.
+    st = store_->Checkpoint(BuildManifestLocked());
+  }
   Publish();
   return st;
 }
 
 Status Collection::Delete(const std::vector<int64_t>& ids, size_t* deleted) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr && !ids.empty()) {
+    VDT_RETURN_IF_ERROR(store_->LogDelete(ids));
+  }
+  Status st = DeleteLocked(ids, deleted);
+  Publish();
+  return st;
+}
+
+Status Collection::DeleteLocked(const std::vector<int64_t>& ids,
+                                size_t* deleted) {
   size_t count = 0;
   // Copy-on-write clones, committed after routing so in-flight readers keep
   // the pre-delete bitmaps; cloned at most once per segment per call.
@@ -297,13 +338,14 @@ Status Collection::Delete(const std::vector<int64_t>& ids, size_t* deleted) {
     }
   }
   if (deleted != nullptr) *deleted = count;
-  Status st = CompactLocked(nullptr);
-  Publish();
-  return st;
+  return CompactLocked(nullptr);
 }
 
 Status Collection::Compact(size_t* compacted) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr) {
+    VDT_RETURN_IF_ERROR(store_->LogCompact());
+  }
   Status st = CompactLocked(compacted);
   Publish();
   return st;
@@ -345,6 +387,15 @@ Status Collection::CompactLocked(size_t* compacted) {
                               options_.system.build_index_threshold,
                               options_.seed + 7919 * compactions_ + 13);
       if (!st.ok()) return st;
+      if (store_ != nullptr) {
+        // A rewritten segment starts tombstone-free; the replaced file is
+        // GC'd at the next checkpoint, not here (in-flight snapshots and a
+        // pre-checkpoint crash both still need it).
+        const uint64_t uid = store_->AllocateSegmentUid();
+        VDT_RETURN_IF_ERROR(
+            store_->WriteSegment(*fresh, options_.metric, nullptr, uid));
+        fresh->set_storage_uid(uid);
+      }
       shard.sealed[i] = SegmentView{std::move(fresh), nullptr};
       ++i;
     }
@@ -420,19 +471,167 @@ void Collection::UpdateSearchParams(const IndexParams& params) {
   // snapshot and flow into every search as a per-call override, so no
   // segment state changes here.
   std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr) {
+    // Logged so post-restart searches run under the same knobs. The API is
+    // void, so an append failure (disk full) can only be surfaced here; the
+    // in-memory update still applies.
+    Status st = store_->LogSearchParams(params);
+    if (!st.ok()) {
+      VDT_LOG(kWarning) << "WAL append (search params) failed: "
+                        << st.message();
+    }
+  }
   options_.index.params = params;
   Publish();
 }
 
-void Collection::OverrideRuntimeSystem(const SystemConfig& system) {
-  std::lock_guard<std::mutex> lock(mu_);
+void Collection::ApplyRuntimeSystemLocked(const SystemConfig& system) {
   options_.system.graceful_time_ms = system.graceful_time_ms;
   options_.system.max_read_concurrency = system.max_read_concurrency;
   options_.system.cache_ratio = system.cache_ratio;
   options_.system.compaction_deleted_ratio = system.compaction_deleted_ratio;
   // Deliberately not copied: num_shards (layout-defining, fixed at
   // creation) and the other layout knobs the build cache keys on.
+}
+
+void Collection::OverrideRuntimeSystem(const SystemConfig& system) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr) {
+    // compaction_deleted_ratio changes which deletes trigger rewrites, so
+    // replay must see the override at the same point in the history.
+    Status st = store_->LogSystemOverride(system);
+    if (!st.ok()) {
+      VDT_LOG(kWarning) << "WAL append (system override) failed: "
+                        << st.message();
+    }
+  }
+  ApplyRuntimeSystemLocked(system);
   Publish();
+}
+
+ManifestData Collection::BuildManifestLocked() const {
+  ManifestData m;
+  m.options = options_;
+  m.dim = dim_;
+  m.next_id = next_id_;
+  m.compactions = compactions_;
+  m.shards.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (const SegmentView& view : shards_[s].sealed) {
+      ManifestSegment entry;
+      entry.uid = view.segment->storage_uid();
+      entry.rows = view.segment->rows();
+      entry.deleted = view.deleted_rows();
+      if (view.tombstones != nullptr) {
+        entry.tombstones = view.tombstones->bits;
+      }
+      m.shards[s].push_back(std::move(entry));
+    }
+  }
+  return m;
+}
+
+Result<std::shared_ptr<Collection>> Collection::Restore(
+    std::shared_ptr<CollectionStore> store) {
+  const ManifestData& m = store->manifest();
+  auto collection = std::make_shared<Collection>(m.options);
+  Collection& c = *collection;
+  // No reader can hold this collection yet, so the Locked variants run
+  // without the writer mutex throughout recovery.
+  if (m.shards.size() != c.shards_.size()) {
+    return Status::InvalidArgument(
+        "manifest shard count does not match collection options");
+  }
+  c.dim_ = static_cast<size_t>(m.dim);
+  c.next_id_ = m.next_id;
+  c.compactions_ = static_cast<size_t>(m.compactions);
+  if (c.dim_ != 0) {
+    for (ShardState& shard : c.shards_) shard.buffer = FloatMatrix(0, c.dim_);
+  }
+
+  for (size_t s = 0; s < m.shards.size(); ++s) {
+    for (const ManifestSegment& entry : m.shards[s]) {
+      Result<LoadedSegment> loaded =
+          store->LoadSegment(entry.uid, c.options_.metric);
+      if (!loaded.ok()) {
+        return Status::InvalidArgument(
+            "segment " + store->SegmentPath(entry.uid) + ": " +
+            loaded.status().message());
+      }
+      if (loaded->segment->rows() != entry.rows ||
+          (c.dim_ != 0 && loaded->segment->data().dim() != c.dim_)) {
+        return Status::InvalidArgument(
+            "segment " + store->SegmentPath(entry.uid) +
+            " does not match its manifest entry");
+      }
+      // The manifest bitmap is the checkpoint-time overlay — authoritative
+      // over the seal-time TOMB section inside the segment file.
+      std::shared_ptr<const TombstoneOverlay> overlay;
+      if (entry.deleted > 0) {
+        auto o = std::make_shared<TombstoneOverlay>();
+        o->bits = entry.tombstones;
+        o->deleted = static_cast<size_t>(entry.deleted);
+        overlay = std::move(o);
+      }
+      loaded->segment->set_storage_uid(entry.uid);
+      c.shards_[s].sealed.push_back(
+          SegmentView{std::move(loaded->segment), std::move(overlay)});
+    }
+  }
+
+  // Replay after the store is attached: replayed seals re-allocate the same
+  // uids (the counter was checkpointed) and regenerate orphan segment files
+  // byte-for-byte in place. Nothing re-logs — replay drives the Locked
+  // variants, and WAL appends live only in the public wrappers.
+  c.store_ = std::move(store);
+  for (WalRecord& rec : c.store_->TakeWalRecords()) {
+    Status st = Status::OK();
+    switch (rec.type) {
+      case WalRecord::kInsert:
+        st = c.InsertLocked(rec.rows);
+        break;
+      case WalRecord::kDelete:
+        st = c.DeleteLocked(rec.ids, nullptr);
+        break;
+      case WalRecord::kSystemOverride: {
+        SystemConfig sys = c.options_.system;
+        sys.graceful_time_ms = rec.graceful_time_ms;
+        sys.max_read_concurrency = rec.max_read_concurrency;
+        sys.cache_ratio = rec.cache_ratio;
+        sys.compaction_deleted_ratio = rec.compaction_deleted_ratio;
+        c.ApplyRuntimeSystemLocked(sys);
+        break;
+      }
+      case WalRecord::kSearchParams: {
+        IndexParams& p = c.options_.index.params;
+        p.nlist = rec.params[0];
+        p.nprobe = rec.params[1];
+        p.m = rec.params[2];
+        p.nbits = rec.params[3];
+        p.hnsw_m = rec.params[4];
+        p.ef_construction = rec.params[5];
+        p.ef = rec.params[6];
+        p.reorder_k = rec.params[7];
+        p.build_threads = rec.params[8];
+        break;
+      }
+      case WalRecord::kCompact:
+        st = c.CompactLocked(nullptr);
+        break;
+      default:
+        break;  // unreachable: the decoder rejects unknown types
+    }
+    // Mirror runtime behavior: a failed mutation (e.g. an infeasible index
+    // build) returned its error to the original caller and the collection
+    // carried on — replay does the same, deterministically.
+    if (!st.ok()) {
+      VDT_LOG(kWarning) << "WAL replay: record type "
+                        << static_cast<int>(rec.type)
+                        << " failed as it did originally: " << st.message();
+    }
+  }
+  c.Publish();
+  return collection;
 }
 
 CollectionStats Collection::Stats() const { return Snapshot()->stats; }

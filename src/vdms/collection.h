@@ -42,6 +42,8 @@
 
 namespace vdt {
 
+class CollectionStore;
+struct ManifestData;
 class ParallelExecutor;
 
 /// Index configuration of a collection: type plus parameter bag.
@@ -95,6 +97,24 @@ struct CollectionOptions {
 class Collection {
  public:
   explicit Collection(CollectionOptions options);
+
+  /// Makes this collection durable: mutations are write-ahead logged,
+  /// seal/compact write segment files, and Flush() checkpoints the manifest
+  /// (see storage/collection_store.h for the protocol). Attach only to a
+  /// freshly created, still-empty collection — pre-existing segments would
+  /// have no on-disk identity.
+  void AttachStore(std::shared_ptr<CollectionStore> store);
+
+  /// Rebuilds a collection from its opened store: mmap-loads the sealed
+  /// segments the manifest names (overlaying the manifest's tombstone
+  /// bitmaps, which are authoritative over seal-time state), then replays
+  /// the WAL through the same code paths the original mutations took —
+  /// ids, seal seeds, and segment uids all re-derive deterministically, so
+  /// the result is bit-identical to the pre-restart collection. Returns a
+  /// typed error when a segment file is missing, corrupt, or inconsistent
+  /// with the manifest.
+  static Result<std::shared_ptr<Collection>> Restore(
+      std::shared_ptr<CollectionStore> store);
 
   /// Inserts `rows` vectors; each row routes to its id-hash shard, and
   /// buffering/sealing/index builds happen inline per shard, mirroring the
@@ -224,7 +244,14 @@ class Collection {
   size_t ShardOf(int64_t id) const;
 
   Status InsertLocked(const FloatMatrix& rows);
+  Status DeleteLocked(const std::vector<int64_t>& ids, size_t* deleted);
   Status CompactLocked(size_t* compacted);
+  /// The runtime-knob subset OverrideRuntimeSystem copies (shared with WAL
+  /// replay).
+  void ApplyRuntimeSystemLocked(const SystemConfig& system);
+  /// The current sealed-segment layout as a manifest (checkpoint input).
+  /// Only meaningful when buffers and growing tiers are empty (post-Flush).
+  ManifestData BuildManifestLocked() const;
   /// Concatenates shard `shard_index`'s growing chunks into one sealed
   /// segment under an explicit id map and builds its index (no-op when that
   /// shard's growing tier is empty). The build seed folds in the shard
@@ -256,6 +283,11 @@ class Collection {
   /// regardless of which shard compacts).
   size_t compactions_ = 0;
   std::vector<ShardState> shards_;
+  /// Durability sink (null = in-memory collection). Mutation wrappers log
+  /// to its WAL before applying; SealShardGrowing/CompactLocked write
+  /// segment files through it; Flush checkpoints it. WAL replay drives the
+  /// *Locked variants directly, so nothing is re-logged during recovery.
+  std::shared_ptr<CollectionStore> store_;
 };
 
 }  // namespace vdt

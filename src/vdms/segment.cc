@@ -22,6 +22,15 @@ Status Segment::Seal(IndexType type, Metric metric, const IndexParams& params,
   return st;
 }
 
+std::shared_ptr<Segment> Segment::Restore(int64_t base_id, FloatMatrix data,
+                                          std::vector<int64_t> ids) {
+  auto segment = std::make_shared<Segment>(base_id, data.dim());
+  segment->data_ = std::move(data);
+  segment->ids_ = std::move(ids);
+  segment->sealed_ = true;
+  return segment;
+}
+
 std::vector<Neighbor> Segment::Search(Metric metric, const float* query,
                                       size_t k, WorkCounters* counters,
                                       const RowFilter* filter,

@@ -51,6 +51,22 @@ class Segment {
   Status Seal(IndexType type, Metric metric, const IndexParams& params,
               int build_threshold, uint64_t seed);
 
+  /// Reassembles a sealed segment from persisted parts (the storage loader's
+  /// entry point): `data` may borrow an mmap'd vector section (the segment
+  /// then serves straight from the mapping); `ids` is the explicit id map
+  /// (may be empty for a contiguous range starting at base_id). The result
+  /// is sealed, immutable, and index-less until AttachRestoredIndex.
+  static std::shared_ptr<Segment> Restore(int64_t base_id, FloatMatrix data,
+                                          std::vector<int64_t> ids);
+
+  /// Attaches a deserialized index. Two-phase restore on purpose: the index
+  /// holds a pointer to the segment's own data() matrix, so it must be
+  /// RestoreState'd against this segment's data — after Restore() — not
+  /// against some pre-move copy. `index` may be null (brute-force segment).
+  void AttachRestoredIndex(std::unique_ptr<VectorIndex> index) {
+    index_ = std::move(index);
+  }
+
   /// Top-k rows within this segment that `filter` declares live (null =
   /// every row); ids in the result are collection row ids. `knobs` (may be
   /// null) overrides search-time index parameters for this call only — see
@@ -80,6 +96,20 @@ class Segment {
   int64_t base_id() const { return base_id_; }
   const FloatMatrix& data() const { return data_; }
 
+  /// The built index (null for brute-force segments); serialization reads
+  /// its state through VectorIndex::SerializeState.
+  const VectorIndex* index() const { return index_.get(); }
+
+  /// The explicit id map (empty = contiguous range from base_id).
+  const std::vector<int64_t>& ids() const { return ids_; }
+
+  /// Storage identity: the uid of the on-disk segment file backing this
+  /// segment (0 = not persisted). Assigned once — at the atomic file write
+  /// during seal/compact, or at load — always before the segment is
+  /// published in a snapshot, so readers never observe it changing.
+  uint64_t storage_uid() const { return storage_uid_; }
+  void set_storage_uid(uint64_t uid) { storage_uid_ = uid; }
+
   /// Bytes of the index structures (0 when index-less).
   size_t IndexMemoryBytes() const {
     return index_ ? index_->MemoryBytes() : 0;
@@ -89,6 +119,7 @@ class Segment {
   int64_t base_id_;
   FloatMatrix data_;
   bool sealed_ = false;
+  uint64_t storage_uid_ = 0;
   std::unique_ptr<VectorIndex> index_;
   /// Explicit collection ids per row (ascending); empty = contiguous range
   /// starting at base_id_. Set by compaction rewrites.

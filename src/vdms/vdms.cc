@@ -1,6 +1,25 @@
 #include "vdms/vdms.h"
 
+#include "storage/collection_store.h"
+#include "storage/file_io.h"
+
 namespace vdt {
+
+namespace {
+
+/// True when `name` is safe to use as a directory name under data_dir:
+/// non-empty, only [A-Za-z0-9_.-], and not a dot path.
+bool IsStorableName(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 // ------------------------------------------------------- CollectionHandle
 
@@ -43,13 +62,72 @@ void CollectionHandle::reset() {
 
 // ------------------------------------------------------------- VdmsEngine
 
+Status VdmsEngine::Open() {
+  if (options_.data_dir.empty()) {
+    return Status::FailedPrecondition(
+        "VdmsEngine::Open requires options.data_dir");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  VDT_RETURN_IF_ERROR(EnsureDir(options_.data_dir));
+  Result<std::vector<std::string>> names = ListDir(options_.data_dir);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    const std::string dir = options_.data_dir + "/" + name;
+    if (!IsDirectory(dir) || !PathExists(dir + "/MANIFEST")) continue;
+    Result<std::unique_ptr<CollectionStore>> store =
+        CollectionStore::Open(dir, options_.wal_sync);
+    if (!store.ok()) return store.status();
+    // A manifest whose collection name disagrees with its directory was
+    // copied in from somewhere else; refuse rather than guess which name
+    // the operator meant.
+    if ((*store)->manifest().options.name != name) {
+      return Status::InvalidArgument(
+          "manifest in " + dir + " names collection '" +
+          (*store)->manifest().options.name + "'; refusing foreign manifest");
+    }
+    Result<std::shared_ptr<Collection>> collection =
+        Collection::Restore(std::shared_ptr<CollectionStore>(
+            std::move(*store)));
+    if (!collection.ok()) {
+      return Status::InvalidArgument("recovering " + dir + ": " +
+                                     collection.status().message());
+    }
+    if (collections_.count(name) > 0) {
+      return Status::AlreadyExists("collection '" + name +
+                                   "' recovered twice");
+    }
+    Entry entry;
+    entry.collection = std::move(*collection);
+    entry.dir = dir;
+    collections_.emplace(name, std::move(entry));
+  }
+  return Status::OK();
+}
+
 Status VdmsEngine::CreateCollection(const CollectionOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
   if (collections_.count(options.name) > 0) {
     return Status::AlreadyExists("collection '" + options.name + "' exists");
   }
   Entry entry;
-  entry.collection = std::make_shared<Collection>(options);
+  if (!options_.data_dir.empty()) {
+    if (!IsStorableName(options.name)) {
+      return Status::InvalidArgument(
+          "collection name '" + options.name +
+          "' is not storable (use [A-Za-z0-9_.-])");
+    }
+    VDT_RETURN_IF_ERROR(EnsureDir(options_.data_dir));
+    const std::string dir = options_.data_dir + "/" + options.name;
+    Result<std::unique_ptr<CollectionStore>> store =
+        CollectionStore::Create(dir, options, options_.wal_sync);
+    if (!store.ok()) return store.status();
+    entry.collection = std::make_shared<Collection>(options);
+    entry.collection->AttachStore(
+        std::shared_ptr<CollectionStore>(std::move(*store)));
+    entry.dir = dir;
+  } else {
+    entry.collection = std::make_shared<Collection>(options);
+  }
   collections_.emplace(options.name, std::move(entry));
   return Status::OK();
 }
@@ -66,7 +144,14 @@ Status VdmsEngine::DropCollection(const std::string& name) {
         "collection '" + name + "' has " + std::to_string(live) +
         " live handle(s); release them before dropping");
   }
+  const std::string dir = it->second.dir;
   collections_.erase(it);
+  if (!dir.empty()) {
+    // The collection (and its store, holding the WAL fd) is gone from the
+    // map; in-flight operations on their own reference keep memory alive
+    // but the on-disk footprint is removed now.
+    VDT_RETURN_IF_ERROR(RemoveDirRecursive(dir));
+  }
   return Status::OK();
 }
 

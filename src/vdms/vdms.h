@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "storage/wal.h"
 #include "vdms/api.h"
 #include "vdms/collection.h"
 #include "vdms/memory_model.h"
@@ -40,6 +41,15 @@ struct VdmsEngineOptions {
   /// bench/micro_engine.cc can measure what snapshot reads buy. Never
   /// enable outside benchmarks.
   bool serialize_reads = false;
+
+  /// When non-empty, collections are durable: each lives under
+  /// <data_dir>/<name>/ with a manifest, segment files, and a WAL (see
+  /// storage/collection_store.h), and Open() recovers whatever is there.
+  /// Empty (the default) keeps the engine fully in-memory.
+  std::string data_dir;
+
+  /// WAL fsync policy for durable collections (see WalSyncPolicy).
+  WalSyncPolicy wal_sync = WalSyncPolicy::kNone;
 };
 
 /// A ref-counted lease on an open collection. While any handle is live,
@@ -83,13 +93,27 @@ class VdmsEngine {
   VdmsEngine(const VdmsEngine&) = delete;
   VdmsEngine& operator=(const VdmsEngine&) = delete;
 
+  /// Recovers every collection persisted under options.data_dir: each
+  /// subdirectory holding a manifest is opened (CollectionStore::Open) and
+  /// rebuilt (Collection::Restore). Any unreadable or foreign manifest,
+  /// torn segment file, or manifest/directory name mismatch is a typed
+  /// error and nothing is registered — the caller (e.g. vdt_server) refuses
+  /// startup rather than serving partial data. FailedPrecondition when the
+  /// engine has no data_dir. Call once, before traffic.
+  Status Open();
+
   /// Creates a collection; fails with AlreadyExists on a name collision.
+  /// With a data_dir, also initializes <data_dir>/<name>/ (manifest + empty
+  /// WAL) and attaches the store, so every later mutation is durable; the
+  /// name must then be non-empty and use only [A-Za-z0-9_.-] (it names a
+  /// directory).
   Status CreateCollection(const CollectionOptions& options);
 
   /// Drops a collection; fails with NotFound when absent and with
   /// FailedPrecondition (naming the live-handle count) while Open() handles
   /// are outstanding. In-flight name-based operations finish safely on
-  /// their own reference.
+  /// their own reference. With a data_dir, the collection's directory is
+  /// deleted as well.
   Status DropCollection(const std::string& name);
 
   /// Opens a ref-counted handle on `name` for direct Collection access
@@ -136,6 +160,9 @@ class VdmsEngine {
     /// Live Open() handles; guards DropCollection.
     std::shared_ptr<std::atomic<int>> handles =
         std::make_shared<std::atomic<int>>(0);
+    /// On-disk directory (empty for in-memory collections); removed by
+    /// DropCollection.
+    std::string dir;
   };
 
   /// The collection named `name` (nullptr when absent); holds mu_ for the
