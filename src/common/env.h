@@ -28,7 +28,8 @@ int64_t BenchIters(int64_t fallback);
 uint64_t BenchSeed();
 
 /// Requested distance-kernel backend (VDT_KERNEL, default "native"):
-/// "scalar", "avx2", "neon", or "native" for the best the CPU supports.
+/// any registered backend name — kernels::RegisteredBackendNames()
+/// enumerates them — or "native" for the best the CPU supports.
 /// Consumed once by kernels::Active() on first use (see
 /// index/kernels/kernels.h for fallback behavior).
 std::string KernelEnv();

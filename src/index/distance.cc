@@ -90,14 +90,19 @@ void Sq8Batch(Metric metric, const float* query, const uint8_t* codes,
       backend.sq8_l2_batch(query, codes, vmin, vscale, dim, n, out);
       return;
     case Metric::kInnerProduct:
-      backend.sq8_dot_batch(query, codes, vmin, vscale, dim, n, out);
+      backend.sq8_dot_i8(query, codes, vmin, vscale, dim, n, out);
       for (size_t i = 0; i < n; ++i) out[i] = -out[i];
       return;
     case Metric::kAngular:
-      backend.sq8_dot_batch(query, codes, vmin, vscale, dim, n, out);
+      backend.sq8_dot_i8(query, codes, vmin, vscale, dim, n, out);
       for (size_t i = 0; i < n; ++i) out[i] = 1.0f - out[i];
       return;
   }
+}
+
+void PqLookupBatch(const float* table, const uint16_t* codes, size_t m,
+                   size_t ksub, size_t n, float bias, float* out) {
+  kernels::Active().pq_lookup_batch(table, codes, m, ksub, n, bias, out);
 }
 
 }  // namespace vdt

@@ -2,7 +2,7 @@
 // (Table III); vectors are L2-normalized at ingest so angular reduces to
 // 1 - dot. Every function here routes through the active SIMD kernel
 // backend (index/kernels/kernels.h): runtime-dispatched on CPU features,
-// overridable via VDT_KERNEL=scalar|avx2|neon|native. Per-row results are
+// overridable via VDT_KERNEL=scalar|avx2|avx512|neon|native. Per-row results are
 // block-invariant — a batch call produces bit-identical values to the
 // corresponding one-row calls — so callers may block scans any way they
 // like without changing results.
@@ -65,6 +65,15 @@ void DistanceBatch(Metric metric, const float* query, const float* rows,
 void Sq8Batch(Metric metric, const float* query, const uint8_t* codes,
               const float* vmin, const float* vscale, size_t dim, size_t n,
               float* out);
+
+/// PQ ADC lookup-accumulate scan: n rows of m uint16 codes against an
+/// m x ksub table (subspace s at table + s * ksub);
+/// out[i] = bias + sum_s table[s * ksub + codes[i * m + s]]. The bias
+/// carries the metric's constant (1.0 for angular) so the table itself
+/// holds the per-subspace contributions. Block-invariant like every
+/// batch kernel.
+void PqLookupBatch(const float* table, const uint16_t* codes, size_t m,
+                   size_t ksub, size_t n, float bias, float* out);
 
 }  // namespace vdt
 

@@ -326,25 +326,57 @@ Status IvfPqIndex::RestoreExtra(ByteReader* reader, const FloatMatrix& data) {
   return Status::OK();
 }
 
+namespace {
+
+/// Scratch reused across IvfPqIndex::SearchFiltered calls on one thread:
+/// the ADC table (m * ksub floats — 16 KiB at m=16, nbits=8) and the
+/// negated-query staging buffer for dot metrics. Allocating the table per
+/// query put a malloc + free — and allocator contention across searching
+/// threads — on every search; SearchFiltered is const and each searching
+/// thread gets its own buffers, so reuse is race-free.
+/// bench/micro_engine.cc (BM_EngineSearch_IvfPq) quantifies the win.
+struct PqScratch {
+  std::vector<float> table;
+  std::vector<float> neg_query;
+};
+
+PqScratch& TlsPqScratch() {
+  thread_local PqScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 std::vector<Neighbor> IvfPqIndex::SearchFiltered(
     const float* query, size_t k, const RowFilter* filter,
     WorkCounters* counters, const IndexParams* knobs) const {
   const size_t m = static_cast<size_t>(params_.m);
   const size_t ksub = static_cast<size_t>(ksub_);
+  PqScratch& scratch = TlsPqScratch();
 
   // ADC lookup table: partial distance of each (subspace, codeword) pair.
   // A subspace's ksub codewords are contiguous codebook rows, so each
-  // subspace is one one-to-many block scan.
-  std::vector<float> table(m * ksub);
+  // subspace is one one-to-many block scan. Dot metrics need the *negated*
+  // dot in the table; negating the query once folds the sign into the batch
+  // kernel (bit-exact: IEEE multiplication is sign-symmetric, so
+  // dot(-q, c) == -dot(q, c) term by term), writing every table entry
+  // exactly once instead of writing it and then flipping it in a second
+  // pass over all m * ksub entries.
+  scratch.table.resize(m * ksub);
+  float* table = scratch.table.data();
+  const float* tq = query;
+  if (metric_ != Metric::kL2) {
+    scratch.neg_query.resize(m * dsub_);
+    for (size_t d = 0; d < m * dsub_; ++d) scratch.neg_query[d] = -query[d];
+    tq = scratch.neg_query.data();
+  }
   for (size_t s = 0; s < m; ++s) {
-    const float* qsub = query + s * dsub_;
     const float* cb = codebooks_.Row(s * ksub);
-    float* row = &table[s * ksub];
+    float* row = table + s * ksub;
     if (metric_ == Metric::kL2) {
-      L2Batch(qsub, cb, dsub_, ksub, row);
+      L2Batch(query + s * dsub_, cb, dsub_, ksub, row);
     } else {
-      DotBatch(qsub, cb, dsub_, ksub, row);
-      for (size_t c = 0; c < ksub; ++c) row[c] = -row[c];
+      DotBatch(tq + s * dsub_, cb, dsub_, ksub, row);
     }
   }
   if (counters != nullptr) counters->table_build_flops += m * ksub * dsub_;
@@ -352,16 +384,28 @@ std::vector<Neighbor> IvfPqIndex::SearchFiltered(
 
   TopKCollector topk(k);
   uint64_t scanned = 0;
+  // Each list's codes are one contiguous block (list slot j at codes +
+  // j * m), so live slot runs score through the batch ADC kernel; dead
+  // slots are skipped without a lookup.
+  float dist[kDistanceScanBlock];
   for (int32_t list : ProbeLists(query, EffectiveNprobe(knobs), counters)) {
     const auto& ids = list_ids_[list];
     const uint16_t* codes = list_codes_[list].data();
-    for (size_t j = 0; j < ids.size(); ++j) {
-      if (!RowIsLive(filter, ids[j])) continue;
-      const uint16_t* code = codes + j * m;
-      float acc = bias;
-      for (size_t s = 0; s < m; ++s) acc += table[s * ksub + code[s]];
-      topk.Offer(ids[j], acc);
-      ++scanned;
+    size_t j = 0;
+    while (j < ids.size()) {
+      if (!RowIsLive(filter, ids[j])) {
+        ++j;
+        continue;
+      }
+      size_t run = j + 1;
+      while (run < ids.size() && run - j < kDistanceScanBlock &&
+             RowIsLive(filter, ids[run])) {
+        ++run;
+      }
+      PqLookupBatch(table, codes + j * m, m, ksub, run - j, bias, dist);
+      for (size_t t = 0; t < run - j; ++t) topk.Offer(ids[j + t], dist[t]);
+      scanned += run - j;
+      j = run;
     }
   }
   if (counters != nullptr) counters->pq_lookup_ops += scanned * m;

@@ -286,6 +286,37 @@ VDT_AVX2 void Avx2Sq8DotBatch(const float* query, const uint8_t* codes,
   }
 }
 
+/// Gathered ADC table scan: 8 subspaces per vpgatherdps (lane l of the
+/// accumulator holds terms s with s % 8 == l, summed in s order), a scalar
+/// remainder loop, bias added after the Hsum256 reduction — one fixed
+/// scheme per row, so the batch is block-invariant. The serial
+/// acc += table[...] chain of the reference loop is the bottleneck the
+/// gather removes: 8 independent loads replace 8 dependent float adds.
+VDT_AVX2 void Avx2PqLookupBatch(const float* table, const uint16_t* codes,
+                                size_t m, size_t ksub, size_t n, float bias,
+                                float* out) {
+  const __m256i lane_base = _mm256_mullo_epi32(
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+      _mm256_set1_epi32(static_cast<int>(ksub)));
+  for (size_t i = 0; i < n; ++i) {
+    const uint16_t* code = codes + i * m;
+    __m256 acc = _mm256_setzero_ps();
+    size_t s = 0;
+    for (; s + 8 <= m; s += 8) {
+      const __m128i c16 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + s));
+      const __m256i idx = _mm256_add_epi32(
+          _mm256_cvtepu16_epi32(c16),
+          _mm256_add_epi32(lane_base,
+                           _mm256_set1_epi32(static_cast<int>(s * ksub))));
+      acc = _mm256_add_ps(acc, _mm256_i32gather_ps(table, idx, 4));
+    }
+    float tail = 0.f;
+    for (; s < m; ++s) tail += table[s * ksub + code[s]];
+    out[i] = bias + (Hsum256(acc) + tail);
+  }
+}
+
 #undef VDT_AVX2
 
 bool Avx2CpuSupported() {
@@ -296,9 +327,17 @@ bool Avx2CpuSupported() {
 
 const Backend* Avx2Backend() {
   static const Backend backend = {
-      "avx2",         Avx2CpuSupported, Avx2Dot,
-      Avx2L2,         Avx2DotBatch,     Avx2L2Batch,
-      Avx2Sq8L2Batch, Avx2Sq8DotBatch,
+      .name = "avx2",
+      .available = Avx2CpuSupported,
+      .dot = Avx2Dot,
+      .l2 = Avx2L2,
+      .dot_batch = Avx2DotBatch,
+      .l2_batch = Avx2L2Batch,
+      .sq8_l2_batch = Avx2Sq8L2Batch,
+      .sq8_dot_batch = Avx2Sq8DotBatch,
+      .pq_lookup_batch = Avx2PqLookupBatch,
+      // No VEX-VNNI path here: the quantized dot keeps the float scheme.
+      .sq8_dot_i8 = Avx2Sq8DotBatch,
   };
   return &backend;
 }

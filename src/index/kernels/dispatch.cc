@@ -30,7 +30,8 @@ const Backend* ResolveFromEnv() {
   if (chosen == nullptr) {
     chosen = NativeBackend();
     VDT_LOG(kWarning) << "VDT_KERNEL=" << want
-                      << " is unknown or unavailable on this CPU; using "
+                      << " is unknown or unavailable on this CPU (expected "
+                      << RegisteredBackendNames() << "); using "
                       << chosen->name;
   } else {
     VDT_LOG(kInfo) << "distance kernels: backend=" << chosen->name
@@ -44,6 +45,7 @@ const Backend* ResolveFromEnv() {
 std::vector<const Backend*> AllBackends() {
   std::vector<const Backend*> backends{&ScalarBackend()};
   if (Avx2Backend() != nullptr) backends.push_back(Avx2Backend());
+  if (Avx512Backend() != nullptr) backends.push_back(Avx512Backend());
   if (NeonBackend() != nullptr) backends.push_back(NeonBackend());
   return backends;
 }
@@ -54,6 +56,16 @@ std::vector<const Backend*> AvailableBackends() {
     if (backend->available()) available.push_back(backend);
   }
   return available;
+}
+
+std::string RegisteredBackendNames() {
+  std::string names;
+  for (const Backend* backend : AllBackends()) {
+    names += backend->name;
+    names += " | ";
+  }
+  names += "native";
+  return names;
 }
 
 const Backend* ResolveBackend(const std::string& name) {

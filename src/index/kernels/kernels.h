@@ -1,9 +1,10 @@
 // The SIMD distance-kernel subsystem: scalar reference kernels plus
-// vectorized variants (AVX2 on x86-64, NEON on aarch64) behind a runtime
-// dispatch registry. Every one-query-vs-many-rows scan in the engine —
-// FLAT scans, IVF posting lists, SCANN reorder, HNSW neighbor expansion,
-// kmeans assignment — bottoms out in these kernels, so they are the floor
-// under every QPS number the tuner ever sees.
+// vectorized variants (AVX2 and AVX-512 on x86-64, NEON on aarch64) behind
+// a runtime dispatch registry. Every one-query-vs-many-rows scan in the
+// engine — FLAT scans, IVF posting lists, PQ ADC lookups, SCANN reorder,
+// HNSW neighbor expansion, kmeans assignment — bottoms out in these
+// kernels, so they are the floor under every QPS number the tuner ever
+// sees.
 //
 // Determinism contract: each backend computes a row's distance with one
 // fixed accumulation scheme that depends only on (query, row, dim) — never
@@ -22,11 +23,33 @@
 //           horizontal reduction, scalar tail. FMA rounds a*b+acc once, so
 //           individual terms can differ from scalar by one rounding each;
 //           the bound has the same ~dim * eps * sum|term| shape.
+//   avx512: 16-lane FMA accumulators (2-way unrolled); the remainder runs
+//           as one masked-load FMA into accumulator 0 instead of a scalar
+//           tail loop (masked-off lanes contribute +0). Same bound shape
+//           as avx2.
 //   neon:   4-lane FMA accumulators (2-way unrolled), vaddvq reduction;
 //           same bound shape as avx2.
 // tests/kernel_test.cc enforces |got - oracle| <= 4 * dim * eps *
 // sum|term| + dim * FLT_MIN (the additive floor covers underflow of
 // subnormal products) for every registered backend across dims 1..257.
+//
+// The pq_lookup_batch slot sums m table entries per row; its bound is the
+// same shape with dim replaced by m. The sq8_dot_i8 slot is the one
+// exception to the float-rounding-only rule: a backend may serve it with a
+// fixed-point scheme (AVX-512 VNNI, below), whose documented error is
+// dominated by query quantization, not rounding:
+//   The query is folded into the scale once per call: s[d] = q[d] *
+//   vscale[d] (rounded float), amax = max_d |s[d]|, alpha = amax / 127,
+//   s8[d] = clamp(lrintf((s[d] / amax) * 127), -127, 127). Each row then
+//   reduces exactly in int32 via vpdpbusd (isum = sum_d code[d] * s8[d];
+//   integer, so block-invariant by construction) and the result is
+//   base + alpha * isum with base = dot(q, vmin) under the backend's float
+//   dot scheme. Documented bound, enforced by tests/kernel_test.cc:
+//   |err| <= alpha * (0.5 * sum_d code[d] + 4 * dim) + the float-dot bound
+//   above. Valid for dim < 2^18 (int32 lane headroom). Backends without a
+//   fixed-point path alias sq8_dot_i8 to their float sq8 dot kernel, and
+//   the scalar slot is the float reference itself, so VDT_KERNEL=scalar
+//   results never change.
 #ifndef VDTUNER_INDEX_KERNELS_KERNELS_H_
 #define VDTUNER_INDEX_KERNELS_KERNELS_H_
 
@@ -62,11 +85,27 @@ using Sq8DotBatchFn = void (*)(const float* query, const uint8_t* codes,
                                const float* vmin, const float* vscale,
                                size_t dim, size_t n, float* out);
 
+/// PQ ADC lookup-accumulate block kernel: n rows of m uint16 codes
+/// (`codes` holds n * m codes, row i at codes + i * m) against an
+/// m x ksub lookup table (subspace s's entries at table + s * ksub);
+/// out[i] = bias + sum_s table[s * ksub + codes[i * m + s]]. Every code
+/// must be < ksub (validated at index build/restore, not per lookup).
+/// Block-invariant like every batch kernel.
+using PqLookupBatchFn = void (*)(const float* table, const uint16_t* codes,
+                                 size_t m, size_t ksub, size_t n, float bias,
+                                 float* out);
+
+/// Quantized-dot slot: same signature and semantics as Sq8DotBatchFn, but
+/// a backend may serve it with a fixed-point scheme (the VNNI scheme in
+/// the header comment) instead of per-element dequantize-to-float. The
+/// scalar slot is the float reference bit-for-bit.
+using Sq8DotI8BatchFn = Sq8DotBatchFn;
+
 /// One kernel backend: a named, internally consistent set of kernels.
 /// All registered backends are listed by AllBackends(); the ones the
 /// current CPU can execute by AvailableBackends().
 struct Backend {
-  const char* name;          // "scalar", "avx2", "neon"
+  const char* name;          // "scalar", "avx2", "avx512", "neon"
   bool (*available)();       // runtime CPU support check
 
   DotFn dot;
@@ -75,7 +114,17 @@ struct Backend {
   L2BatchFn l2_batch;
   Sq8L2BatchFn sq8_l2_batch;
   Sq8DotBatchFn sq8_dot_batch;
+  PqLookupBatchFn pq_lookup_batch;
+  Sq8DotI8BatchFn sq8_dot_i8;
 };
+
+/// The portable reference PQ lookup: out[i] = ((bias + t_0) + t_1) + ...,
+/// one sequential float accumulation per row — bit-for-bit the historic
+/// IvfPqIndex ADC loop. Exposed so backends without a gather unit can
+/// share it as their pq_lookup_batch slot.
+void ReferencePqLookupBatch(const float* table, const uint16_t* codes,
+                            size_t m, size_t ksub, size_t n, float bias,
+                            float* out);
 
 /// The portable reference backend; always available, and the oracle the
 /// vectorized backends are tested against. Its one-to-one kernels preserve
@@ -85,8 +134,13 @@ const Backend& ScalarBackend();
 
 /// Compiled-in vectorized backends; null when this build has no such
 /// backend (e.g. Avx2Backend() on aarch64). A non-null pointer does not
-/// imply the running CPU supports it — check available().
+/// imply the running CPU supports it — check available(). The avx512
+/// backend requires AVX-512F/VL/BW and serves sq8_dot_i8 with the VNNI
+/// fixed-point scheme when the CPU also has AVX512-VNNI (falling back to
+/// its float sq8 dot kernel otherwise — fixed per machine, so results
+/// stay bit-stable).
 const Backend* Avx2Backend();
+const Backend* Avx512Backend();
 const Backend* NeonBackend();
 
 /// Every backend compiled into this binary, scalar first.
@@ -95,16 +149,24 @@ std::vector<const Backend*> AllBackends();
 /// The subset of AllBackends() the running CPU supports.
 std::vector<const Backend*> AvailableBackends();
 
-/// Looks a backend up by name ("scalar" / "avx2" / "neon"), or resolves
-/// "native" to the best available backend (vectorized over scalar).
-/// Returns null for unknown names and for backends the CPU cannot run.
+/// Looks a backend up by its registered name, or resolves "native" to the
+/// best available backend (vectorized over scalar). Returns null for
+/// unknown names and for backends the CPU cannot run.
 const Backend* ResolveBackend(const std::string& name);
 
+/// The names accepted by ResolveBackend in this build, " | "-separated and
+/// ending with "native" (e.g. "scalar | avx2 | avx512 | native" on
+/// x86-64). Enumerated from the registry, never hard-coded, so new
+/// backends report correctly in every warning, startup log, and doc
+/// string that embeds it.
+std::string RegisteredBackendNames();
+
 /// The active backend. Resolved once, on first use, from the VDT_KERNEL
-/// environment variable (scalar | avx2 | neon | native; default native —
-/// see KernelEnv() in common/env). An unavailable or unknown request logs
-/// a warning and falls back to native. The resolution is logged, and the
-/// active name is surfaced through CollectionStats::kernel_backend.
+/// environment variable (any RegisteredBackendNames() entry; default
+/// native — see KernelEnv() in common/env). An unavailable or unknown
+/// request logs a warning and falls back to native. The resolution is
+/// logged, and the active name is surfaced through
+/// CollectionStats::kernel_backend.
 const Backend& Active();
 
 /// Swaps the active backend by name ("native" allowed). Returns false and

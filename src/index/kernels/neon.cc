@@ -131,9 +131,18 @@ bool NeonCpuSupported() { return true; }
 
 const Backend* NeonBackend() {
   static const Backend backend = {
-      "neon",         NeonCpuSupported, NeonDot,
-      NeonL2,         NeonDotBatch,     NeonL2Batch,
-      NeonSq8L2Batch, NeonSq8DotBatch,
+      .name = "neon",
+      .available = NeonCpuSupported,
+      .dot = NeonDot,
+      .l2 = NeonL2,
+      .dot_batch = NeonDotBatch,
+      .l2_batch = NeonL2Batch,
+      .sq8_l2_batch = NeonSq8L2Batch,
+      .sq8_dot_batch = NeonSq8DotBatch,
+      // NEON has no gather unit and no u8xi8 dot accumulate in baseline
+      // aarch64, so both new slots keep the portable schemes.
+      .pq_lookup_batch = ReferencePqLookupBatch,
+      .sq8_dot_i8 = NeonSq8DotBatch,
   };
   return &backend;
 }

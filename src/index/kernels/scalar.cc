@@ -112,11 +112,35 @@ bool AlwaysAvailable() { return true; }
 
 }  // namespace
 
+// The historic IvfPqIndex ADC loop, preserved bit-for-bit: one sequential
+// float accumulation per row, seeded with the bias. Non-static so gather-
+// less backends (NEON) can share it as their pq_lookup_batch slot.
+void ReferencePqLookupBatch(const float* table, const uint16_t* codes,
+                            size_t m, size_t ksub, size_t n, float bias,
+                            float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint16_t* code = codes + i * m;
+    float acc = bias;
+    for (size_t s = 0; s < m; ++s) acc += table[s * ksub + code[s]];
+    out[i] = acc;
+  }
+}
+
 const Backend& ScalarBackend() {
   static const Backend backend = {
-      "scalar",        AlwaysAvailable,  ScalarDot,
-      ScalarL2,        ScalarDotBatch,   ScalarL2Batch,
-      ScalarSq8L2Batch, ScalarSq8DotBatch,
+      .name = "scalar",
+      .available = AlwaysAvailable,
+      .dot = ScalarDot,
+      .l2 = ScalarL2,
+      .dot_batch = ScalarDotBatch,
+      .l2_batch = ScalarL2Batch,
+      .sq8_l2_batch = ScalarSq8L2Batch,
+      .sq8_dot_batch = ScalarSq8DotBatch,
+      .pq_lookup_batch = ReferencePqLookupBatch,
+      // The quantized-dot slot is the float reference itself: scalar
+      // results are pinned bit-for-bit regardless of which slot a caller
+      // routes through.
+      .sq8_dot_i8 = ScalarSq8DotBatch,
   };
   return backend;
 }

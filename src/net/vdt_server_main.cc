@@ -31,6 +31,7 @@
 
 #include "common/random.h"
 #include "index/distance.h"
+#include "index/kernels/kernels.h"
 #include "net/server.h"
 #include "vdms/vdms.h"
 
@@ -89,6 +90,10 @@ int main(int argc, char** argv) {
   engine_options.wal_sync = FlagInt(argc, argv, "wal-sync", 0) != 0
                                 ? WalSyncPolicy::kEveryRecord
                                 : WalSyncPolicy::kNone;
+
+  std::printf("distance kernels: %s (registered: %s)\n",
+              vdt::kernels::Active().name,
+              vdt::kernels::RegisteredBackendNames().c_str());
 
   VdmsEngine engine(engine_options);
   bool recovered = false;

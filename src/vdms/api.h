@@ -57,8 +57,9 @@ struct CollectionStats {
   double index_mb_paper_scale = 0.0;
 
   /// Name of the SIMD distance-kernel backend that served this snapshot
-  /// ("scalar" / "avx2" / "neon" — see index/kernels/kernels.h). Static
-  /// string, valid for the process lifetime.
+  /// (one of kernels::RegisteredBackendNames() — see
+  /// index/kernels/kernels.h). Static string, valid for the process
+  /// lifetime.
   const char* kernel_backend = "";
 
   /// Sharding layout: shards.size() == num_shards, and the per-shard

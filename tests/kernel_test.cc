@@ -14,6 +14,7 @@
 // float but not in the double oracle (subnormal inputs).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cfloat>
 #include <cmath>
 #include <cstdint>
@@ -300,6 +301,116 @@ TEST_P(KernelOracleTest, Sq8KernelsMatchOracleAndAreBlockInvariant) {
   }
 }
 
+// PQ ADC lookup against a double oracle: m table entries plus the bias,
+// across subspace counts straddling every gather width (the m % 16 masked
+// tail edge included), both practically relevant ksub values, and both
+// bias constants the engine uses (0 for L2/IP, 1 for angular). Bitwise
+// block-invariance as always.
+TEST_P(KernelOracleTest, PqLookupMatchesOracleAndIsBlockInvariant) {
+  const kernels::Backend& backend = *GetParam();
+  // 70 rows: crosses a 64-row vector row-block boundary (with a non-multiple
+  // of-4 remainder), so row-blocked batch layouts are exercised against the
+  // row-at-a-time splits below.
+  constexpr size_t kRows = 70;
+  Rng rng(0xADC);
+  for (size_t ksub : {16u, 256u}) {
+    for (size_t m : {1u, 2u, 7u, 8u, 15u, 16u, 17u, 31u, 32u, 33u, 48u}) {
+      std::vector<float> table(m * ksub);
+      FillRandom(table.data(), table.size(), 2.0, &rng);
+      std::vector<uint16_t> codes(kRows * m);
+      for (auto& c : codes) {
+        c = static_cast<uint16_t>(rng.UniformInt(static_cast<int>(ksub)));
+      }
+      for (const float bias : {0.0f, 1.0f}) {
+        std::vector<float> full(kRows);
+        backend.pq_lookup_batch(table.data(), codes.data(), m, ksub, kRows,
+                                bias, full.data());
+        for (size_t i = 0; i < kRows; ++i) {
+          double v = bias, mag = std::fabs(static_cast<double>(bias));
+          for (size_t s = 0; s < m; ++s) {
+            const double t = table[s * ksub + codes[i * m + s]];
+            v += t;
+            mag += std::fabs(t);
+          }
+          const Oracle oracle{v, mag};
+          EXPECT_WITHIN_ORACLE(full[i], oracle, m + 1);
+        }
+        std::vector<float> blocked(kRows);
+        for (size_t block : {1u, 3u, 8u, 19u, 70u}) {
+          for (size_t begin = 0; begin < kRows; begin += block) {
+            const size_t n = std::min(block, kRows - begin);
+            backend.pq_lookup_batch(table.data(), &codes[begin * m], m, ksub,
+                                    n, bias, &blocked[begin]);
+          }
+          EXPECT_EQ(blocked, full)
+              << "m=" << m << " ksub=" << ksub << " block=" << block;
+        }
+      }
+    }
+  }
+}
+
+// The quantized-dot slot: backends that alias it to their float sq8 dot
+// kernel must match it bit-for-bit; a fixed-point implementation (AVX-512
+// VNNI) must stay within the documented bound from kernels.h —
+// alpha * (0.5 * sum_d code[d] + 4 * dim) + the float-dot tolerance, with
+// alpha derived exactly as the scheme prescribes. Bitwise block-invariance
+// holds either way (integer row accumulation is exact).
+TEST_P(KernelOracleTest, Sq8DotI8WithinDocumentedSchemeBound) {
+  const kernels::Backend& backend = *GetParam();
+  constexpr size_t kRows = 17;
+  Rng rng(0x1D8);
+  for (size_t dim : {1u, 4u, 16u, 31u, 63u, 64u, 65u, 129u}) {
+    std::vector<float> query(dim), vmin(dim), vscale(dim);
+    FillRandom(query.data(), dim, 1.0, &rng);
+    for (size_t d = 0; d < dim; ++d) {
+      vmin[d] = static_cast<float>(rng.Uniform(-1.5, -0.5));
+      vscale[d] = static_cast<float>(rng.Uniform(0.002, 0.02));
+    }
+    std::vector<uint8_t> codes(kRows * dim);
+    for (auto& c : codes) c = static_cast<uint8_t>(rng.UniformInt(256));
+
+    std::vector<float> full(kRows);
+    backend.sq8_dot_i8(query.data(), codes.data(), vmin.data(), vscale.data(),
+                       dim, kRows, full.data());
+
+    if (backend.sq8_dot_i8 == backend.sq8_dot_batch) {
+      std::vector<float> viafloat(kRows);
+      backend.sq8_dot_batch(query.data(), codes.data(), vmin.data(),
+                            vscale.data(), dim, kRows, viafloat.data());
+      EXPECT_EQ(full, viafloat) << "aliased slot must be the float kernel";
+    } else {
+      float amax = 0.f;
+      for (size_t d = 0; d < dim; ++d) {
+        amax = std::max(amax, std::fabs(query[d] * vscale[d]));
+      }
+      const double alpha = static_cast<double>(amax) / 127.0;
+      for (size_t i = 0; i < kRows; ++i) {
+        const uint8_t* code = &codes[i * dim];
+        const Oracle oracle =
+            OracleSq8Dot(query.data(), code, vmin.data(), vscale.data(), dim);
+        double code_sum = 0.0;
+        for (size_t d = 0; d < dim; ++d) code_sum += code[d];
+        const double bound = alpha * (0.5 * code_sum + 4.0 * dim) +
+                             Tolerance(dim, oracle.magnitude);
+        EXPECT_LE(std::fabs(static_cast<double>(full[i]) - oracle.value),
+                  bound)
+            << "dim=" << dim << " row=" << i;
+      }
+    }
+
+    std::vector<float> blocked(kRows);
+    for (size_t block : {1u, 2u, 5u, 17u}) {
+      for (size_t begin = 0; begin < kRows; begin += block) {
+        const size_t n = std::min(block, kRows - begin);
+        backend.sq8_dot_i8(query.data(), &codes[begin * dim], vmin.data(),
+                           vscale.data(), dim, n, &blocked[begin]);
+      }
+      EXPECT_EQ(blocked, full) << "dim=" << dim << " block=" << block;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllAvailableBackends, KernelOracleTest,
     ::testing::ValuesIn(kernels::AvailableBackends()),
@@ -373,6 +484,45 @@ TEST(ScalarReferenceRegressionTest, TailBehaviorPinnedBitForBit) {
   }
 }
 
+// The historic IvfPqIndex ADC accumulation (pre-pq_lookup_batch
+// SearchFiltered), reproduced verbatim: one sequential float sum per row,
+// seeded with the bias. The reference kernel — and therefore every scalar
+// search — must match it bit-for-bit, forever.
+TEST(ScalarReferenceRegressionTest, PqLookupPinnedToHistoricAdcLoop) {
+  Rng rng(0xADC2);
+  for (size_t m : {1u, 3u, 8u, 13u, 16u, 29u}) {
+    const size_t ksub = 32;
+    for (int rep = 0; rep < 20; ++rep) {
+      std::vector<float> table(m * ksub);
+      for (auto& t : table) {
+        // Wildly varying exponents make the sum order-sensitive.
+        const double mag = std::pow(10.0, rng.Uniform(-6.0, 6.0));
+        t = static_cast<float>(rng.Uniform(-mag, mag));
+      }
+      std::vector<uint16_t> codes(m);
+      for (auto& c : codes) {
+        c = static_cast<uint16_t>(rng.UniformInt(static_cast<int>(ksub)));
+      }
+      for (const float bias : {0.0f, 1.0f}) {
+        float legacy = bias;
+        for (size_t s = 0; s < m; ++s) legacy += table[s * ksub + codes[s]];
+        float got = 0.f;
+        kernels::ScalarBackend().pq_lookup_batch(table.data(), codes.data(),
+                                                 m, ksub, 1, bias, &got);
+        EXPECT_EQ(got, legacy) << "m=" << m << " bias=" << bias;
+      }
+    }
+  }
+}
+
+// Under VDT_KERNEL=scalar the quantized-dot slot must be the float
+// reference itself (same function, not merely close values), so routing
+// Sq8Batch through it changed nothing for scalar runs.
+TEST(ScalarReferenceRegressionTest, Sq8DotI8SlotIsTheFloatReference) {
+  const kernels::Backend& scalar = kernels::ScalarBackend();
+  EXPECT_EQ(scalar.sq8_dot_i8, scalar.sq8_dot_batch);
+}
+
 // The public entry points route through the scalar backend when it is
 // active, preserving the historic values exactly.
 TEST(ScalarReferenceRegressionTest, PublicApiMatchesLegacyUnderScalar) {
@@ -426,10 +576,13 @@ TEST(DistanceBatchTest, Sq8BatchAppliesMetricTransform) {
                        dim, n, raw.data());
   EXPECT_EQ(out, raw);
 
+  // Dot metrics route through the quantized-dot slot (which may be a
+  // fixed-point kernel); the transform must sit on top of exactly that
+  // slot's raw values.
   Sq8Batch(Metric::kAngular, query.data(), codes.data(), vmin.data(),
            vscale.data(), dim, n, out.data());
-  backend.sq8_dot_batch(query.data(), codes.data(), vmin.data(),
-                        vscale.data(), dim, n, raw.data());
+  backend.sq8_dot_i8(query.data(), codes.data(), vmin.data(),
+                     vscale.data(), dim, n, raw.data());
   for (size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], 1.0f - raw[i]);
 
   Sq8Batch(Metric::kInnerProduct, query.data(), codes.data(), vmin.data(),
@@ -483,6 +636,48 @@ TEST(KernelDispatchTest, UnavailableBackendsAreNotResolvable) {
       EXPECT_EQ(resolved, nullptr);
     }
   }
+}
+
+// The registered-name string is enumerated from the registry — every
+// compiled-in backend appears, scalar first, "native" last — so warnings
+// and startup logs can never drift from what ResolveBackend accepts.
+TEST(KernelDispatchTest, RegisteredBackendNamesEnumerateTheRegistry) {
+  const std::string names = kernels::RegisteredBackendNames();
+  EXPECT_EQ(names.rfind("scalar | ", 0), 0u) << names;
+  EXPECT_EQ(names.substr(names.size() - std::string("native").size()),
+            "native");
+  for (const kernels::Backend* backend : kernels::AllBackends()) {
+    EXPECT_NE(names.find(std::string(backend->name) + " | "),
+              std::string::npos)
+        << names << " is missing " << backend->name;
+  }
+}
+
+// Every Backend must populate the two new slots — a null pointer here
+// would only surface as a crash deep inside a PQ or SQ8 search.
+TEST(KernelDispatchTest, AllBackendsPopulateEverySlot) {
+  for (const kernels::Backend* backend : kernels::AllBackends()) {
+    EXPECT_NE(backend->pq_lookup_batch, nullptr) << backend->name;
+    EXPECT_NE(backend->sq8_dot_i8, nullptr) << backend->name;
+  }
+}
+
+// The public PqLookupBatch entry routes through the active backend.
+TEST(KernelDispatchTest, PublicPqLookupRoutesThroughActiveBackend) {
+  const size_t m = 8, ksub = 16, n = 5;
+  Rng rng(0xF00);
+  std::vector<float> table(m * ksub);
+  FillRandom(table.data(), table.size(), 1.0, &rng);
+  std::vector<uint16_t> codes(n * m);
+  for (auto& c : codes) {
+    c = static_cast<uint16_t>(rng.UniformInt(static_cast<int>(ksub)));
+  }
+  std::vector<float> via_api(n), via_backend(n);
+  PqLookupBatch(table.data(), codes.data(), m, ksub, n, 1.0f,
+                via_api.data());
+  kernels::Active().pq_lookup_batch(table.data(), codes.data(), m, ksub, n,
+                                    1.0f, via_backend.data());
+  EXPECT_EQ(via_api, via_backend);
 }
 
 }  // namespace
